@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation (ours, motivated by DESIGN.md §5): how much slippage does
+ * decoupling actually need? Sweeps the EP Instruction Queue depth at
+ * L2 = 64 and reports IPC and perceived latency — with a 1-entry IQ
+ * the machine degenerates towards the non-decoupled baseline, and the
+ * benefit saturates once the queue covers the miss latency.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mtdae;
+
+int
+main()
+{
+    const std::uint64_t insts = instsBudget(120000);
+    const std::vector<std::uint32_t> depths = {1, 2, 4, 8, 16, 32,
+                                               48, 96, 192, 384};
+
+    TextTable t;
+    t.addRow({"IQ entries", "1T IPC", "1T perceived", "4T IPC",
+              "4T perceived"});
+    std::vector<std::vector<std::string>> csv;
+    csv.push_back({"iq_entries", "threads", "ipc", "perceived"});
+
+    for (const std::uint32_t depth : depths) {
+        std::vector<std::string> row = {std::to_string(depth)};
+        for (const std::uint32_t n : {1u, 4u}) {
+            SimConfig cfg = paperConfig(n, true, 64);
+            cfg.iqEntries = depth;
+            const RunResult r = runSuiteMix(cfg, insts * n);
+            row.push_back(TextTable::fmt(r.ipc));
+            row.push_back(TextTable::fmt(r.perceivedAll, 1));
+            csv.push_back({std::to_string(depth), std::to_string(n),
+                           TextTable::fmt(r.ipc, 4),
+                           TextTable::fmt(r.perceivedAll, 4)});
+        }
+        t.addRow(row);
+    }
+
+    // Reference: the non-decoupled machine (queues disabled entirely).
+    for (const std::uint32_t n : {1u, 4u}) {
+        const SimConfig cfg = paperConfig(n, false, 64);
+        const RunResult r = runSuiteMix(cfg, insts * n);
+        t.addRow({"non-dec", n == 1 ? TextTable::fmt(r.ipc) : "",
+                  n == 1 ? TextTable::fmt(r.perceivedAll, 1) : "",
+                  n == 4 ? TextTable::fmt(r.ipc) : "",
+                  n == 4 ? TextTable::fmt(r.perceivedAll, 1) : ""});
+        csv.push_back({"0", std::to_string(n), TextTable::fmt(r.ipc, 4),
+                       TextTable::fmt(r.perceivedAll, 4)});
+    }
+
+    emitTable("Ablation: EP Instruction Queue depth at L2 = 64 "
+              "(slippage requirement)", t, csv,
+              "ablation_queue_depth.csv");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries: table
+ * assembly and CSV emission in one call.
+ */
+
+#ifndef MTDAE_BENCH_BENCH_UTIL_HH
+#define MTDAE_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+namespace mtdae {
+
+/** Print @p table under @p title and mirror it to results/<csv_name>. */
+inline void
+emitTable(const std::string &title, const TextTable &table,
+          const std::vector<std::vector<std::string>> &csv_rows,
+          const std::string &csv_name)
+{
+    std::cout << "\n== " << title << " ==\n";
+    table.print(std::cout);
+    CsvWriter csv(resultsDir() + "/" + csv_name);
+    for (const auto &row : csv_rows)
+        csv.row(row);
+}
+
+/** Percent IPC loss of @p ipc relative to @p base. */
+inline double
+ipcLossPct(double base, double ipc)
+{
+    return base > 0.0 ? 100.0 * (1.0 - ipc / base) : 0.0;
+}
+
+} // namespace mtdae
+
+#endif // MTDAE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces paper Figure 1 (a-d): the latency-hiding effectiveness of
+ * a single-threaded decoupled machine across the SPEC FP95 models and
+ * L2 latencies 1..256, with queues scaled proportionally to the latency
+ * (paper Section 2).
+ *
+ *  1-a: average perceived FP-load miss latency
+ *  1-b: average perceived integer-load miss latency
+ *  1-c: L1 miss ratios at L2 = 256 (loads/stores, plus delayed hits)
+ *  1-d: % IPC loss relative to the 1-cycle-latency machine
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.hh"
+#include "workload/spec_fp95.hh"
+
+using namespace mtdae;
+
+int
+main()
+{
+    const std::uint64_t insts = instsBudget(250000);
+    const auto &lats = paperLatencies();
+    const auto &names = specFp95Names();
+
+    std::map<std::string, std::map<std::uint32_t, RunResult>> results;
+    for (const auto &bench : names) {
+        for (const std::uint32_t lat : lats) {
+            SimConfig cfg = paperConfig(1, true, lat);
+            results[bench][lat] = runBenchmark(cfg, bench, insts);
+        }
+    }
+
+    auto series_table = [&](auto value_of) {
+        TextTable t;
+        std::vector<std::string> header = {"benchmark"};
+        for (const std::uint32_t lat : lats)
+            header.push_back("L2=" + std::to_string(lat));
+        t.addRow(header);
+        for (const auto &bench : names) {
+            std::vector<std::string> row = {bench};
+            for (const std::uint32_t lat : lats)
+                row.push_back(TextTable::fmt(
+                    value_of(results[bench][lat], lat), 2));
+            t.addRow(row);
+        }
+        return t;
+    };
+    auto series_csv = [&](auto value_of) {
+        std::vector<std::vector<std::string>> csv;
+        csv.push_back({"benchmark", "l2_latency", "value"});
+        for (const auto &bench : names)
+            for (const std::uint32_t lat : lats)
+                csv.push_back({bench, std::to_string(lat),
+                               TextTable::fmt(
+                                   value_of(results[bench][lat], lat),
+                                   4)});
+        return csv;
+    };
+
+    auto fp = [](const RunResult &r, std::uint32_t) {
+        return r.perceivedFp;
+    };
+    emitTable("Figure 1-a: avg perceived FP-load miss latency (cycles), "
+              "1 thread, decoupled", series_table(fp), series_csv(fp),
+              "fig1a_perceived_fp.csv");
+
+    auto ip = [](const RunResult &r, std::uint32_t) {
+        return r.perceivedInt;
+    };
+    emitTable("Figure 1-b: avg perceived integer-load miss latency "
+              "(cycles)", series_table(ip), series_csv(ip),
+              "fig1b_perceived_int.csv");
+
+    {
+        TextTable t;
+        t.addRow({"benchmark", "load-miss%", "store-miss%",
+                  "delayed-hit%"});
+        std::vector<std::vector<std::string>> csv;
+        csv.push_back({"benchmark", "load_miss", "store_miss",
+                       "delayed_hits"});
+        for (const auto &bench : names) {
+            const RunResult &r = results[bench][256];
+            t.addRow({bench, TextTable::fmt(100 * r.loadMissRatio, 1),
+                      TextTable::fmt(100 * r.storeMissRatio, 1),
+                      TextTable::fmt(100 * r.mergedRatio, 1)});
+            csv.push_back({bench, TextTable::fmt(r.loadMissRatio, 4),
+                           TextTable::fmt(r.storeMissRatio, 4),
+                           TextTable::fmt(r.mergedRatio, 4)});
+        }
+        emitTable("Figure 1-c: L1 miss ratios at L2 = 256", t, csv,
+                  "fig1c_miss_ratios.csv");
+    }
+
+    {
+        TextTable t;
+        std::vector<std::string> header = {"benchmark"};
+        for (const std::uint32_t lat : lats)
+            header.push_back("L2=" + std::to_string(lat));
+        t.addRow(header);
+        std::vector<std::vector<std::string>> csv;
+        csv.push_back({"benchmark", "l2_latency", "ipc", "ipc_loss_pct"});
+        for (const auto &bench : names) {
+            const double base = results[bench][1].ipc;
+            std::vector<std::string> row = {bench};
+            for (const std::uint32_t lat : lats) {
+                const double pct =
+                    ipcLossPct(base, results[bench][lat].ipc);
+                row.push_back(TextTable::fmt(-pct, 1));
+                csv.push_back({bench, std::to_string(lat),
+                               TextTable::fmt(results[bench][lat].ipc, 4),
+                               TextTable::fmt(pct, 2)});
+            }
+            t.addRow(row);
+        }
+        emitTable("Figure 1-d: % IPC change relative to L2 = 1", t, csv,
+                  "fig1d_ipc_loss.csv");
+    }
+
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduces paper Figure 4 (a-c): latency tolerance of the eight
+ * configurations (1-4 threads, decoupled and non-decoupled) over the
+ * L2 latency sweep, on the rotated suite-mix workload.
+ *
+ *  4-a: average perceived load-miss latency
+ *  4-b: % IPC loss relative to the 1-cycle-latency machine
+ *  4-c: absolute IPC
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace mtdae;
+
+int
+main()
+{
+    const std::uint64_t insts = instsBudget(300000);
+    const auto &lats = paperLatencies();
+    const std::vector<std::uint32_t> threads = {1, 2, 3, 4};
+
+    struct Key
+    {
+        std::uint32_t t;
+        bool dec;
+        bool operator<(const Key &o) const
+        {
+            return t != o.t ? t < o.t : dec < o.dec;
+        }
+    };
+    std::map<Key, std::map<std::uint32_t, RunResult>> results;
+
+    for (const std::uint32_t n : threads) {
+        for (const bool dec : {true, false}) {
+            for (const std::uint32_t lat : lats) {
+                const SimConfig cfg = paperConfig(n, dec, lat);
+                results[{n, dec}][lat] = runSuiteMix(cfg, insts * n);
+            }
+        }
+    }
+
+    auto config_name = [](const Key &k) {
+        return std::to_string(k.t) + "T " +
+               (k.dec ? "decoupled" : "non-decoupled");
+    };
+
+    auto emit_series = [&](const std::string &title,
+                           const std::string &csv_name, auto value_of) {
+        TextTable t;
+        std::vector<std::string> header = {"config"};
+        for (const std::uint32_t lat : lats)
+            header.push_back("L2=" + std::to_string(lat));
+        t.addRow(header);
+        std::vector<std::vector<std::string>> csv;
+        csv.push_back({"threads", "decoupled", "l2_latency", "value"});
+        for (const auto &[key, series] : results) {
+            std::vector<std::string> row = {config_name(key)};
+            for (const std::uint32_t lat : lats) {
+                const double v = value_of(key, series.at(lat));
+                row.push_back(TextTable::fmt(v, 2));
+                csv.push_back({std::to_string(key.t),
+                               key.dec ? "1" : "0",
+                               std::to_string(lat),
+                               TextTable::fmt(v, 4)});
+            }
+            t.addRow(row);
+        }
+        emitTable(title, t, csv, csv_name);
+    };
+
+    emit_series("Figure 4-a: perceived load-miss latency (cycles)",
+                "fig4a_perceived.csv",
+                [](const Key &, const RunResult &r) {
+                    return r.perceivedAll;
+                });
+
+    emit_series("Figure 4-b: % IPC loss relative to L2 = 1",
+                "fig4b_ipc_loss.csv",
+                [&](const Key &k, const RunResult &r) {
+                    return -ipcLossPct(results[k][1].ipc, r.ipc);
+                });
+
+    emit_series("Figure 4-c: IPC", "fig4c_ipc.csv",
+                [](const Key &, const RunResult &r) { return r.ipc; });
+
+    // The paper's headline checks, printed for EXPERIMENTS.md.
+    std::cout << "\nHeadline checks:\n";
+    for (const std::uint32_t n : threads) {
+        const double d32 =
+            ipcLossPct(results[{n, true}][1].ipc,
+                       results[{n, true}][32].ipc);
+        const double n32 =
+            ipcLossPct(results[{n, false}][1].ipc,
+                       results[{n, false}][32].ipc);
+        std::cout << "  " << n << "T @L2=32: decoupled loses "
+                  << TextTable::fmt(d32, 1) << "% (paper: <4%), "
+                  << "non-decoupled loses " << TextTable::fmt(n32, 1)
+                  << "% (paper: >23%)\n";
+    }
+    std::cout << "  4T @L2=256 decoupled perceived latency: "
+              << TextTable::fmt(results[{4, true}][256].perceivedAll, 1)
+              << " cycles (paper: <5)\n";
+    return 0;
+}

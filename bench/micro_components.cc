@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator components: raw
+ * throughput of the RNG, the BHT, the cache model, trace expansion and
+ * whole-machine simulation (cycles/second and instructions/second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/bht.hh"
+#include "common/rng.hh"
+#include "core/simulator.hh"
+#include "harness/experiment.hh"
+#include "memory/memory_system.hh"
+#include "workload/spec_fp95.hh"
+#include "workload/trace_source.hh"
+
+using namespace mtdae;
+
+static void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+static void
+BM_BhtPredictUpdate(benchmark::State &state)
+{
+    Bht bht(2048);
+    Addr pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bht.predict(pc));
+        bht.update(pc, (pc & 4) != 0);
+        pc += 4;
+    }
+}
+BENCHMARK(BM_BhtPredictUpdate);
+
+static void
+BM_CacheHit(benchmark::State &state)
+{
+    SimConfig cfg;
+    MemorySystem mem(cfg);
+    mem.beginCycle(0);
+    (void)mem.load(0x1000, 0);
+    Cycle now = 0;
+    for (auto _ : state) {
+        mem.beginCycle(++now);
+        benchmark::DoNotOptimize(mem.load(0x1000, now));
+    }
+}
+BENCHMARK(BM_CacheHit);
+
+static void
+BM_CacheStreamingMiss(benchmark::State &state)
+{
+    SimConfig cfg;
+    MemorySystem mem(cfg);
+    Addr a = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        mem.beginCycle(++now);
+        benchmark::DoNotOptimize(mem.load(a, now));
+        a += 32;
+    }
+}
+BENCHMARK(BM_CacheStreamingMiss);
+
+static void
+BM_TraceExpansion(benchmark::State &state)
+{
+    const std::string bench =
+        specFp95Names()[std::size_t(state.range(0))];
+    auto src = makeSpecFp95Source(bench, 0, 1);
+    TraceInst ti;
+    for (auto _ : state) {
+        if (!src->next(ti))
+            state.SkipWithError("trace ended");
+        benchmark::DoNotOptimize(ti);
+    }
+    state.SetLabel(bench);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceExpansion)->DenseRange(0, 9);
+
+static void
+BM_SimulatorCycles(benchmark::State &state)
+{
+    const std::uint32_t threads = std::uint32_t(state.range(0));
+    SimConfig cfg = paperConfig(threads, true, 16);
+    cfg.warmupInsts = 0;
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    for (ThreadId t = 0; t < threads; ++t)
+        sources.push_back(makeSuiteMixSource(t, 1));
+    Simulator sim(cfg, std::move(sources));
+    std::uint64_t insts_before = 0;
+    for (auto _ : state) {
+        sim.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["insts_per_cycle"] = benchmark::Counter(
+        double(sim.totalGraduated() - insts_before) /
+        double(state.iterations()));
+}
+BENCHMARK(BM_SimulatorCycles)->Arg(1)->Arg(4)->Arg(8);
+
+BENCHMARK_MAIN();

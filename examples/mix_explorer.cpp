@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Mix explorer: run the paper's Section 3 workload (every hardware
+ * context executes the full SPEC FP95 suite in a rotated order) on an
+ * arbitrary machine point and print the complete measurement set —
+ * IPC, both units' issue-slot breakdowns, perceived latencies, cache
+ * and bus behaviour.
+ *
+ * Usage: mix_explorer [threads] [l2_latency] [decoupled 0|1] [insts]
+ */
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/slot_stats.hh"
+#include "harness/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtdae;
+
+    const std::uint32_t threads =
+        argc > 1 ? std::uint32_t(std::atoi(argv[1])) : 4;
+    const std::uint32_t l2 =
+        argc > 2 ? std::uint32_t(std::atoi(argv[2])) : 16;
+    const bool decoupled = argc > 3 ? std::atoi(argv[3]) != 0 : true;
+    const std::uint64_t insts =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                 : instsBudget(150000) * threads;
+
+    const SimConfig cfg = paperConfig(threads, decoupled, l2);
+    const RunResult r = runSuiteMix(cfg, insts);
+
+    std::cout << std::fixed << std::setprecision(3);
+    std::cout << "machine: " << threads << " thread(s), L2=" << l2
+              << " cycles, " << (decoupled ? "decoupled" : "non-decoupled")
+              << "\n"
+              << "cycles=" << r.cycles << " insts=" << r.insts
+              << " IPC=" << r.ipc << "\n"
+              << "perceived miss latency: fp=" << r.perceivedFp
+              << " int=" << r.perceivedInt << " all=" << r.perceivedAll
+              << " (fp misses=" << r.fpMisses
+              << ", int misses=" << r.intMisses << ")\n"
+              << "L1: load miss=" << r.loadMissRatio
+              << " store miss=" << r.storeMissRatio
+              << " delayed hits=" << r.mergedRatio << "\n"
+              << "bus utilization=" << r.busUtilization
+              << "  mispredict rate=" << r.mispredictRate << "\n";
+
+    for (const bool is_ap : {true, false}) {
+        const SlotBreakdown &bd = is_ap ? r.ap : r.ep;
+        std::cout << (is_ap ? "AP" : "EP") << " slots:";
+        for (std::size_t u = 0; u < kNumSlotUses; ++u) {
+            const auto use = static_cast<SlotUse>(u);
+            std::cout << "  " << slotUseName(use) << "="
+                      << std::setprecision(1)
+                      << 100.0 * bd.fraction(use) << "%";
+        }
+        std::cout << std::setprecision(3) << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,38 @@
+#include "branch/bht.hh"
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+Bht::Bht(std::uint32_t entries, std::uint8_t initial)
+    : table_(entries, initial), mask_(entries - 1)
+{
+    MTDAE_ASSERT(entries > 0 && (entries & (entries - 1)) == 0,
+                 "BHT size must be a power of two");
+    MTDAE_ASSERT(initial <= 3, "2-bit counter initial value out of range");
+}
+
+bool
+Bht::predict(Addr pc) const
+{
+    return table_[index(pc)] >= 2;
+}
+
+bool
+Bht::update(Addr pc, bool taken)
+{
+    std::uint8_t &ctr = table_[index(pc)];
+    const bool predicted = ctr >= 2;
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    const bool correct = predicted == taken;
+    outcome_.event(!correct);
+    return correct;
+}
+
+} // namespace mtdae

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Branch History Table: per-thread table of 2-bit saturating counters,
+ * PC-indexed (2K entries in the paper's Figure 2).
+ */
+
+#ifndef MTDAE_BRANCH_BHT_HH
+#define MTDAE_BRANCH_BHT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mtdae {
+
+/**
+ * A classic bimodal predictor: one 2-bit saturating counter per entry,
+ * indexed by the branch PC (word-granular).
+ */
+class Bht
+{
+  public:
+    /**
+     * @param entries table size; must be a power of two
+     * @param initial initial counter value (0..3); 2 = weakly taken
+     */
+    explicit Bht(std::uint32_t entries = 2048, std::uint8_t initial = 2);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /**
+     * Update the counter for @p pc with the resolved direction and record
+     * whether the earlier prediction was correct.
+     * @return true when the prediction matched the outcome
+     */
+    bool update(Addr pc, bool taken);
+
+    /** Fraction of updates whose prediction was wrong. */
+    double mispredictRate() const { return outcome_.value(); }
+
+    /** Number of predictions resolved. */
+    std::uint64_t resolved() const { return outcome_.den; }
+
+    /** Reset counters’ statistics (the table contents are kept). */
+    void resetStats() { outcome_.reset(); }
+
+  private:
+    std::size_t index(Addr pc) const { return (pc >> 2) & mask_; }
+
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+    RatioStat outcome_;  // num = mispredicts, den = resolved branches
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_BRANCH_BHT_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Gshare branch predictor: global history XOR-indexed 2-bit counters.
+ * An alternative to the paper's per-thread bimodal BHT, used by the
+ * predictor ablation to quantify how sensitive the decoupled machine's
+ * wrong-path/idle slots are to prediction quality.
+ */
+
+#ifndef MTDAE_BRANCH_GSHARE_HH
+#define MTDAE_BRANCH_GSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mtdae {
+
+/**
+ * Classic gshare: the branch PC is XORed with a global history register
+ * to index a table of 2-bit saturating counters.
+ */
+class Gshare
+{
+  public:
+    /**
+     * @param entries table size; must be a power of two
+     * @param history_bits global-history length (<= log2(entries))
+     */
+    explicit Gshare(std::uint32_t entries = 2048,
+                    std::uint32_t history_bits = 8);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /**
+     * Update with the resolved direction (counter + history).
+     * @return true when the prediction matched the outcome
+     */
+    bool update(Addr pc, bool taken);
+
+    /** Fraction of resolved branches that were mispredicted. */
+    double mispredictRate() const { return outcome_.value(); }
+
+    /** Number of branches resolved. */
+    std::uint64_t resolved() const { return outcome_.den; }
+
+    /** Reset the statistics (table and history are kept). */
+    void resetStats() { outcome_.reset(); }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return ((pc >> 2) ^ (history_ & historyMask_)) & mask_;
+    }
+
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t historyMask_;
+    RatioStat outcome_;
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_BRANCH_GSHARE_HH

@@ -1,0 +1,20 @@
+#include "branch/predictor.hh"
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const SimConfig &cfg)
+{
+    switch (cfg.predictor) {
+      case SimConfig::PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(cfg.bhtEntries);
+      case SimConfig::PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>(cfg.bhtEntries,
+                                                 cfg.gshareHistoryBits);
+    }
+    MTDAE_PANIC("bad predictor kind");
+}
+
+} // namespace mtdae

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * BranchPredictor: the per-context direction-predictor interface, with
+ * the paper's bimodal BHT as the default and gshare as an alternative
+ * (selected by SimConfig::predictor).
+ */
+
+#ifndef MTDAE_BRANCH_PREDICTOR_HH
+#define MTDAE_BRANCH_PREDICTOR_HH
+
+#include <memory>
+
+#include "branch/bht.hh"
+#include "branch/gshare.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace mtdae {
+
+/**
+ * Direction predictor of one hardware context.
+ */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(Addr pc) const = 0;
+
+    /**
+     * Train with the resolved direction.
+     * @return true when the prediction was correct
+     */
+    virtual bool update(Addr pc, bool taken) = 0;
+
+    /** Begin a new statistics interval. */
+    virtual void resetStats() = 0;
+
+    /** Mispredict fraction over the current interval. */
+    virtual double mispredictRate() const = 0;
+};
+
+/** The paper's 2K x 2-bit bimodal BHT. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(std::uint32_t entries) : bht_(entries) {}
+
+    bool predict(Addr pc) const override { return bht_.predict(pc); }
+    bool update(Addr pc, bool taken) override
+    {
+        return bht_.update(pc, taken);
+    }
+    void resetStats() override { bht_.resetStats(); }
+    double mispredictRate() const override
+    {
+        return bht_.mispredictRate();
+    }
+
+  private:
+    Bht bht_;
+};
+
+/** Global-history gshare alternative. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(std::uint32_t entries,
+                             std::uint32_t history_bits = 8)
+        : gshare_(entries, history_bits)
+    {}
+
+    bool predict(Addr pc) const override { return gshare_.predict(pc); }
+    bool update(Addr pc, bool taken) override
+    {
+        return gshare_.update(pc, taken);
+    }
+    void resetStats() override { gshare_.resetStats(); }
+    double mispredictRate() const override
+    {
+        return gshare_.mispredictRate();
+    }
+
+  private:
+    Gshare gshare_;
+};
+
+/** Build the predictor selected by @p cfg. */
+std::unique_ptr<BranchPredictor> makePredictor(const SimConfig &cfg);
+
+} // namespace mtdae
+
+#endif // MTDAE_BRANCH_PREDICTOR_HH

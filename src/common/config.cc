@@ -1,0 +1,71 @@
+#include "common/config.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+SimConfig
+SimConfig::scaledForLatency(std::uint32_t l2_latency) const
+{
+    SimConfig c = *this;
+    c.l2Latency = l2_latency;
+    const std::uint32_t factor = std::max(1u, l2_latency / 16u);
+    if (factor == 1)
+        return c;
+    c.iqEntries *= factor;
+    c.apQueueEntries *= factor;
+    c.saqEntries *= factor;
+    c.robEntries *= factor;
+    c.fetchBufferSize *= factor;
+    // The lockup-free miss capacity must also grow, or the MSHR count
+    // (not decoupling) caps every benchmark at 16 lines per L2 latency:
+    // the paper's near-flat Figure 1-d curves for the well-decoupled
+    // programs are impossible otherwise. It stays bounded by what is
+    // buildable, which is what separates the moderate-bandwidth programs
+    // (flat) from the bandwidth-monsters like hydro2d (degraded).
+    c.mshrs = std::min(c.mshrs * factor, 64u);
+    // Only the registers beyond the architectural ones buffer in-flight
+    // results, so only those scale.
+    c.apPhysRegs = kArchIntRegs + (apPhysRegs - kArchIntRegs) * factor;
+    c.epPhysRegs = kArchFpRegs + (epPhysRegs - kArchFpRegs) * factor;
+    return c;
+}
+
+void
+SimConfig::validate() const
+{
+    if (numThreads == 0)
+        MTDAE_FATAL("numThreads must be >= 1");
+    if (apUnits == 0 || epUnits == 0)
+        MTDAE_FATAL("both units need at least one functional unit");
+    if (apLatency == 0 || epLatency == 0)
+        MTDAE_FATAL("functional unit latencies must be >= 1");
+    if (apPhysRegs <= kArchIntRegs)
+        MTDAE_FATAL("apPhysRegs must exceed the ", kArchIntRegs,
+                    " architectural integer registers");
+    if (epPhysRegs <= kArchFpRegs)
+        MTDAE_FATAL("epPhysRegs must exceed the ", kArchFpRegs,
+                    " architectural FP registers");
+    if (iqEntries == 0 || apQueueEntries == 0 || saqEntries == 0)
+        MTDAE_FATAL("queues must have at least one entry");
+    if (robEntries == 0)
+        MTDAE_FATAL("robEntries must be >= 1");
+    if (l1LineBytes == 0 || (l1LineBytes & (l1LineBytes - 1)) != 0)
+        MTDAE_FATAL("l1LineBytes must be a power of two");
+    if (l1Bytes == 0 || l1Bytes % l1LineBytes != 0)
+        MTDAE_FATAL("l1Bytes must be a multiple of the line size");
+    if ((l1Bytes / l1LineBytes) & (l1Bytes / l1LineBytes - 1))
+        MTDAE_FATAL("L1 line count must be a power of two (direct-mapped)");
+    if (mshrs == 0)
+        MTDAE_FATAL("a lockup-free cache needs at least one MSHR");
+    if (busBytesPerCycle == 0)
+        MTDAE_FATAL("busBytesPerCycle must be >= 1");
+    if (fetchThreadsPerCycle == 0 || fetchWidth == 0 || dispatchWidth == 0)
+        MTDAE_FATAL("front-end widths must be >= 1");
+    if (bhtEntries == 0 || (bhtEntries & (bhtEntries - 1)) != 0)
+        MTDAE_FATAL("bhtEntries must be a power of two");
+}
+
+} // namespace mtdae

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * SimConfig: every architectural parameter of the multithreaded decoupled
+ * processor, defaulting to the paper's Figure 2 machine.
+ */
+
+#ifndef MTDAE_COMMON_CONFIG_HH
+#define MTDAE_COMMON_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mtdae {
+
+/**
+ * Full machine configuration. Defaults reproduce the paper's Figure 2:
+ * a 4+4-way (AP+EP) issue, SMT, decoupled access/execute processor.
+ */
+struct SimConfig
+{
+    // --- Threads -----------------------------------------------------
+    /** Number of hardware contexts. */
+    std::uint32_t numThreads = 1;
+
+    /**
+     * Decoupled mode: AP and EP streams of a thread issue in order
+     * independently (slippage bounded by the queues). When false, the
+     * "instruction queues are disabled": each thread issues in strict
+     * program order across both units (non-decoupled baseline).
+     */
+    bool decoupled = true;
+
+    // --- Issue / functional units ------------------------------------
+    /** AP functional units (also the AP issue width per cycle). */
+    std::uint32_t apUnits = 4;
+    /** EP functional units (also the EP issue width per cycle). */
+    std::uint32_t epUnits = 4;
+    /** AP functional unit latency in cycles. */
+    std::uint32_t apLatency = 1;
+    /** EP functional unit latency in cycles. */
+    std::uint32_t epLatency = 4;
+
+    // --- Front end -----------------------------------------------------
+    /** Threads that may fetch per cycle (I-cache ports). */
+    std::uint32_t fetchThreadsPerCycle = 2;
+    /** Max consecutive instructions fetched per thread per cycle. */
+    std::uint32_t fetchWidth = 8;
+    /** Fetch buffer capacity (pending-dispatch instructions) per thread. */
+    std::uint32_t fetchBufferSize = 16;
+    /** Total dispatch (rename) width per cycle, shared by all threads. */
+    std::uint32_t dispatchWidth = 8;
+    /** Max unresolved branches per thread (AP control speculation). */
+    std::uint32_t maxUnresolvedBranches = 4;
+    /** Extra cycles from branch resolution to fetch restart. */
+    std::uint32_t redirectPenalty = 1;
+    /** Branch history table entries (2-bit counters), per thread. */
+    std::uint32_t bhtEntries = 2048;
+    /** Direction predictor organisations. */
+    enum class PredictorKind : std::uint8_t {
+        Bimodal,  ///< The paper's PC-indexed BHT.
+        Gshare,   ///< Global-history XOR-indexed alternative.
+    };
+    /** Direction predictor used by every context. */
+    PredictorKind predictor = PredictorKind::Bimodal;
+    /** Global-history length for the gshare predictor. */
+    std::uint32_t gshareHistoryBits = 8;
+
+    // --- Per-thread queues and registers --------------------------------
+    /** EP Instruction Queue entries per thread (the decoupling queue). */
+    std::uint32_t iqEntries = 48;
+    /** AP pending-issue queue entries per thread. */
+    std::uint32_t apQueueEntries = 16;
+    /** Store Address Queue entries per thread. */
+    std::uint32_t saqEntries = 32;
+    /** Reorder buffer entries per thread. */
+    std::uint32_t robEntries = 128;
+    /** AP (integer) physical registers per thread. */
+    std::uint32_t apPhysRegs = 64;
+    /** EP (floating-point) physical registers per thread. */
+    std::uint32_t epPhysRegs = 96;
+    /** Graduation width per thread per cycle. */
+    std::uint32_t graduateWidth = 8;
+
+    // --- Memory hierarchy ------------------------------------------------
+    /** L1 data cache size in bytes. */
+    std::uint32_t l1Bytes = 64 * 1024;
+    /** L1 line size in bytes. */
+    std::uint32_t l1LineBytes = 32;
+    /** L1 data cache ports (loads at issue + stores at graduation). */
+    std::uint32_t l1Ports = 4;
+    /** Outstanding misses supported by the lockup-free L1 (MSHRs). */
+    std::uint32_t mshrs = 16;
+    /** L1 hit latency in cycles. */
+    std::uint32_t l1HitLatency = 1;
+    /** L2 access (hit) latency in cycles — the paper's swept parameter. */
+    std::uint32_t l2Latency = 16;
+    /** L1-L2 bus width in bytes per cycle (128-bit bus). */
+    std::uint32_t busBytesPerCycle = 16;
+
+    // --- Workload-independent simulation knobs -------------------------
+    /** RNG seed for the whole simulation (trace generation). */
+    std::uint64_t seed = 1;
+    /** Instructions to graduate before statistics reset (cache warm-up). */
+    std::uint64_t warmupInsts = 50000;
+
+    /** Number of architectural integer registers (fixed by the ISA). */
+    static constexpr std::uint32_t kArchIntRegs = 32;
+    /** Number of architectural FP registers (fixed by the ISA). */
+    static constexpr std::uint32_t kArchFpRegs = 32;
+
+    /**
+     * Return a copy with queue and register-file sizes scaled up
+     * proportionally to the L2 latency, per the paper's Section 2:
+     * factor max(1, l2Latency/16) applied to the IQ, SAQ, AP queue, ROB
+     * and the physical registers beyond the architectural ones.
+     *
+     * @param l2_latency the L2 latency the machine should tolerate
+     */
+    SimConfig scaledForLatency(std::uint32_t l2_latency) const;
+
+    /** Bus cycles to transfer one L1 line. */
+    std::uint32_t
+    lineTransferCycles() const
+    {
+        return (l1LineBytes + busBytesPerCycle - 1) / busBytesPerCycle;
+    }
+
+    /** Die with a fatal() if the configuration is inconsistent. */
+    void validate() const;
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_COMMON_CONFIG_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (splitmix64-seeded
+ * xoshiro256**). Every stochastic element of the workload substrate draws
+ * from an explicitly seeded Rng so that traces, and therefore simulations,
+ * are bit-for-bit reproducible.
+ */
+
+#ifndef MTDAE_COMMON_RNG_HH
+#define MTDAE_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mtdae {
+
+/**
+ * Small, fast, deterministic PRNG (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded with splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, n). Returns 0 when n == 0. */
+    std::uint64_t
+    uniform(std::uint64_t n)
+    {
+        if (n == 0)
+            return 0;
+        return next() % n;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformDouble()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniformDouble() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_COMMON_RNG_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, running aggregates
+ * and fixed-bucket histograms. These are deliberately plain value types so
+ * that subsystems can embed them, reset them after warm-up, and snapshot
+ * them into run results without a registry.
+ */
+
+#ifndef MTDAE_COMMON_STATS_HH
+#define MTDAE_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mtdae {
+
+/**
+ * Running aggregate of a stream of samples: count, sum, min, max, mean.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    sample(double v)
+    {
+        count_ += 1;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Mean of the samples, or 0 when empty. */
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+    /** Smallest sample, or +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample, or -inf when empty. */
+    double max() const { return max_; }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram with uniform integer buckets [0, bucketCount * bucketWidth);
+ * out-of-range samples land in the final overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_count number of regular buckets (>= 1)
+     * @param bucket_width width of each bucket (>= 1)
+     */
+    explicit Histogram(std::size_t bucket_count = 16,
+                       std::uint64_t bucket_width = 1)
+        : width_(bucket_width ? bucket_width : 1),
+          buckets_(bucket_count ? bucket_count : 1, 0)
+    {}
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t idx = static_cast<std::size_t>(v / width_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        buckets_[idx] += 1;
+        total_ += 1;
+        sum_ += v;
+    }
+
+    /** Count in bucket i. */
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+    /** Number of regular buckets. */
+    std::size_t size() const { return buckets_.size(); }
+
+    /** Total number of samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Mean sample value (0 when empty). */
+    double mean() const { return total_ ? double(sum_) / total_ : 0.0; }
+
+    /** Clear all buckets. */
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        total_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * A ratio tracked as numerator/denominator events (e.g. misses/accesses).
+ */
+struct RatioStat
+{
+    std::uint64_t num = 0;  ///< Numerator event count.
+    std::uint64_t den = 0;  ///< Denominator event count.
+
+    /** Record a denominator event that is (hit=false) a numerator too. */
+    void
+    event(bool counts)
+    {
+        den += 1;
+        if (counts)
+            num += 1;
+    }
+
+    /** Current ratio; 0 when no denominator events. */
+    double value() const { return den ? double(num) / double(den) : 0.0; }
+
+    /** Clear both counts. */
+    void reset() { num = den = 0; }
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_COMMON_STATS_HH

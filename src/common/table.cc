@@ -1,0 +1,92 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    if (rows_.empty())
+        return;
+
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows_) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "");
+            // Left-align the first column (labels), right-align numbers.
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(int(widths[c])) << row[c];
+        }
+        os << '\n';
+    };
+
+    emit(rows_[0]);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += std::string(widths[c], '-') + (c + 1 < widths.size()
+                                               ? "  " : "");
+    os << rule << '\n';
+    for (std::size_t r = 1; r < rows_.size(); ++r)
+        emit(rows_[r]);
+}
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(nullptr)
+{
+    if (path.empty())
+        return;
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("could not open CSV file ", path, "; CSV output disabled");
+        return;
+    }
+    out_ = f;
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (out_)
+        std::fclose(static_cast<FILE *>(out_));
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    if (!out_)
+        return;
+    FILE *f = static_cast<FILE *>(out_);
+    for (std::size_t c = 0; c < cells.size(); ++c)
+        std::fprintf(f, "%s%s", c ? "," : "", cells[c].c_str());
+    std::fprintf(f, "\n");
+}
+
+} // namespace mtdae

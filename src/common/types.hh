@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every mtdae subsystem.
+ */
+
+#ifndef MTDAE_COMMON_TYPES_HH
+#define MTDAE_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mtdae {
+
+/** Byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Simulation time, measured in processor cycles. */
+using Cycle = std::uint64_t;
+
+/** Per-thread program-order sequence number of a dynamic instruction. */
+using InstSeq = std::uint64_t;
+
+/** Hardware context (thread) identifier. */
+using ThreadId = std::uint32_t;
+
+/** Physical register index within one register file. */
+using PhysReg = std::uint16_t;
+
+/** Sentinel for "no cycle scheduled / unknown time". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no physical register". */
+inline constexpr PhysReg kNoPhysReg = std::numeric_limits<PhysReg>::max();
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId kNoThread = std::numeric_limits<ThreadId>::max();
+
+} // namespace mtdae
+
+#endif // MTDAE_COMMON_TYPES_HH

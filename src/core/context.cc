@@ -1,0 +1,129 @@
+#include "core/context.hh"
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+RegFile::RegFile(std::uint32_t arch_regs, std::uint32_t phys_regs)
+    : ready_(phys_regs, 1),
+      producer_(phys_regs),
+      map_(arch_regs)
+{
+    MTDAE_ASSERT(phys_regs > arch_regs,
+                 "need more physical than architectural registers");
+    // Architectural register i starts mapped to physical i, ready.
+    for (std::uint32_t i = 0; i < arch_regs; ++i)
+        map_[i] = PhysReg(i);
+    freeList_.reserve(phys_regs - arch_regs);
+    // Pop from the back: hand out the lowest-numbered registers first.
+    for (std::uint32_t i = phys_regs; i > arch_regs; --i)
+        freeList_.push_back(PhysReg(i - 1));
+}
+
+PhysReg
+RegFile::rename(std::uint8_t arch, PhysReg &old_phys)
+{
+    MTDAE_ASSERT(!freeList_.empty(), "rename with an empty free list");
+    const PhysReg fresh = freeList_.back();
+    freeList_.pop_back();
+    old_phys = map_.at(arch);
+    map_.at(arch) = fresh;
+    ready_.at(fresh) = 0;
+    producer_.at(fresh) = Producer{};
+    return fresh;
+}
+
+void
+RegFile::release(PhysReg r)
+{
+    MTDAE_ASSERT(r < ready_.size(), "release of a bad physical register");
+    ready_.at(r) = 1;
+    producer_.at(r) = Producer{};
+    freeList_.push_back(r);
+}
+
+Context::Context(ThreadId id, const SimConfig &cfg,
+                 std::unique_ptr<TraceSource> src)
+    : tid(id),
+      source(std::move(src)),
+      predictor(makePredictor(cfg)),
+      intRegs(SimConfig::kArchIntRegs, cfg.apPhysRegs),
+      fpRegs(SimConfig::kArchFpRegs, cfg.epPhysRegs)
+{
+    MTDAE_ASSERT(source, "context without a trace source");
+}
+
+bool
+Context::operandsReady(const DynInst &di) const
+{
+    for (int i = 0; i < 3; ++i) {
+        if (!di.ti.src[i].valid())
+            continue;
+        if (!file(di.ti.src[i].cls).ready(di.physSrc[i]))
+            return false;
+    }
+    return true;
+}
+
+bool
+Context::storeAddrReady(const DynInst &di) const
+{
+    // src[0] is the address register of both StI and StF.
+    if (!di.ti.src[0].valid())
+        return true;
+    return file(di.ti.src[0].cls).ready(di.physSrc[0]);
+}
+
+bool
+Context::storeDataReady(const DynInst &di) const
+{
+    // src[1] is the data register of both StI and StF.
+    if (!di.ti.src[1].valid())
+        return true;
+    return file(di.ti.src[1].cls).ready(di.physSrc[1]);
+}
+
+Producer::Kind
+Context::stallSource(const DynInst &di, std::uint32_t &tok) const
+{
+    tok = PerceivedTracker::kNoToken;
+    Producer::Kind kind = Producer::Kind::None;
+    for (int i = 0; i < 3; ++i) {
+        if (!di.ti.src[i].valid())
+            continue;
+        // Stores stall at issue only on their address operand.
+        if (isStore(di.ti.op) && i != 0)
+            continue;
+        const RegFile &rf = file(di.ti.src[i].cls);
+        if (rf.ready(di.physSrc[i]))
+            continue;
+        const Producer &p = rf.producer(di.physSrc[i]);
+        // Prefer reporting a load-miss producer: it carries the token
+        // the perceived-latency metric needs.
+        if (p.kind == Producer::Kind::Load) {
+            kind = Producer::Kind::Load;
+            if (p.missToken != PerceivedTracker::kNoToken) {
+                tok = p.missToken;
+                return kind;
+            }
+        } else if (kind == Producer::Kind::None) {
+            kind = p.kind;
+        }
+    }
+    return kind;
+}
+
+bool
+Context::saqForwards(InstSeq load_seq, Addr load_addr) const
+{
+    const Addr word = load_addr >> 3;
+    for (auto it = saq.rbegin(); it != saq.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (it->addrValid && (it->addr >> 3) == word)
+            return true;
+    }
+    return false;
+}
+
+} // namespace mtdae

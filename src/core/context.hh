@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Per-thread (hardware context) state: rename map tables, physical
+ * register files with scoreboards, fetch buffer, unit queues, Store
+ * Address Queue and reorder buffer. The paper replicates all of these
+ * per context; the issue logic, functional units and caches are shared.
+ */
+
+#ifndef MTDAE_CORE_CONTEXT_HH
+#define MTDAE_CORE_CONTEXT_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+#include "core/perceived.hh"
+#include "isa/reg.hh"
+#include "workload/trace_source.hh"
+
+namespace mtdae {
+
+/** What produces the value of a physical register. */
+struct Producer
+{
+    /** Producer category, used for issue-stall classification. */
+    enum class Kind : std::uint8_t {
+        None,  ///< Architectural initial value (always ready).
+        Fu,    ///< A functional-unit instruction.
+        Load,  ///< A load (memory).
+    };
+
+    Kind kind = Kind::None;
+    /** Perceived-latency token when the producing load missed. */
+    std::uint32_t missToken = PerceivedTracker::kNoToken;
+};
+
+/**
+ * One renamed physical register file with free list and scoreboard.
+ */
+class RegFile
+{
+  public:
+    /**
+     * @param arch_regs architectural registers (initially mapped 1:1)
+     * @param phys_regs total physical registers (> arch_regs)
+     */
+    RegFile(std::uint32_t arch_regs, std::uint32_t phys_regs);
+
+    /** True when a rename can allocate a destination. */
+    bool hasFree() const { return !freeList_.empty(); }
+
+    /** Free physical registers remaining. */
+    std::size_t freeCount() const { return freeList_.size(); }
+
+    /** Current mapping of architectural register @p arch. */
+    PhysReg map(std::uint8_t arch) const { return map_.at(arch); }
+
+    /**
+     * Rename @p arch to a fresh physical register.
+     * @param[out] old_phys the previous mapping (to free at graduation)
+     * @return the new physical register
+     */
+    PhysReg rename(std::uint8_t arch, PhysReg &old_phys);
+
+    /** Return @p r to the free list. */
+    void release(PhysReg r);
+
+    /** Scoreboard: is @p r ready? */
+    bool ready(PhysReg r) const { return ready_.at(r); }
+
+    /** Mark @p r ready. */
+    void setReady(PhysReg r) { ready_.at(r) = true; }
+
+    /** Producer record of @p r. */
+    Producer &producer(PhysReg r) { return producer_.at(r); }
+
+    /** Producer record of @p r (const). */
+    const Producer &producer(PhysReg r) const { return producer_.at(r); }
+
+    /** Total physical registers. */
+    std::size_t size() const { return ready_.size(); }
+
+  private:
+    std::vector<std::uint8_t> ready_;
+    std::vector<Producer> producer_;
+    std::vector<PhysReg> freeList_;
+    std::vector<PhysReg> map_;
+};
+
+/**
+ * A Store Address Queue entry: the address is deposited when the store
+ * issues on the AP (address generation); younger loads forward from or
+ * bypass it. The entry is released when the store graduates.
+ */
+struct SaqEntry
+{
+    DynInst *inst = nullptr;
+    InstSeq seq = 0;
+    bool addrValid = false;
+    Addr addr = 0;
+};
+
+/**
+ * A fetched instruction awaiting dispatch. The sequence number is
+ * assigned at fetch (nothing is ever squashed in trace-driven mode, so
+ * fetch order is program order).
+ */
+struct FetchedInst
+{
+    TraceInst ti;
+    InstSeq seq = 0;
+    bool mispredicted = false;
+};
+
+/**
+ * All replicated per-context state.
+ */
+struct Context
+{
+    /**
+     * @param id     hardware context id
+     * @param cfg    machine configuration
+     * @param src    the thread's trace (owned)
+     */
+    Context(ThreadId id, const SimConfig &cfg,
+            std::unique_ptr<TraceSource> src);
+
+    ThreadId tid;
+    std::unique_ptr<TraceSource> source;
+
+    // Front end.
+    std::deque<FetchedInst> fetchBuf; ///< Fetched, pending dispatch.
+    TraceInst pendingInst;            ///< One-instruction lookahead.
+    bool hasPending = false;
+    bool traceDone = false;
+    std::uint32_t unresolvedBranches = 0;
+    bool fetchBlocked = false;        ///< Gated on a mispredicted branch.
+    InstSeq blockingBranchSeq = 0;
+    Cycle fetchResumeAt = 0;          ///< Earliest fetch cycle after redirect.
+    std::unique_ptr<BranchPredictor> predictor;
+
+    // Rename and scoreboard.
+    RegFile intRegs;                  ///< AP physical file.
+    RegFile fpRegs;                   ///< EP physical file.
+
+    // Windows.
+    std::deque<DynInst> rob;          ///< In-flight instructions, in order.
+    std::deque<DynInst *> apQ;        ///< AP pending-issue queue.
+    std::deque<DynInst *> iq;         ///< EP Instruction Queue (decoupling).
+    std::deque<SaqEntry> saq;         ///< Store Address Queue.
+
+    // Sequencing.
+    InstSeq nextSeq = 0;              ///< Next fetch sequence number.
+    InstSeq nextIssueSeq = 0;         ///< Non-decoupled program-order gate.
+
+    // Per-thread statistics.
+    PerceivedTracker perceived;
+    std::uint64_t graduated = 0;
+
+    /** Register file holding registers of @p cls. */
+    RegFile &file(RegClass cls)
+    {
+        return cls == RegClass::Int ? intRegs : fpRegs;
+    }
+
+    /** Register file holding registers of @p cls (const). */
+    const RegFile &file(RegClass cls) const
+    {
+        return cls == RegClass::Int ? intRegs : fpRegs;
+    }
+
+    /** True when every source of @p di is ready. */
+    bool operandsReady(const DynInst &di) const;
+
+    /** True when the address sources of a store are ready. */
+    bool storeAddrReady(const DynInst &di) const;
+
+    /** True when the data source of a store is ready (graduation). */
+    bool storeDataReady(const DynInst &di) const;
+
+    /**
+     * Find the first unready source of @p di and classify its producer.
+     * @param[out] tok the perceived token when a missed load produces it
+     * @return Producer::Kind::Fu or Load; Kind::None when all ready
+     */
+    Producer::Kind stallSource(const DynInst &di, std::uint32_t &tok) const;
+
+    /**
+     * Search the SAQ for the youngest older store writing the same
+     * 8-byte word as @p load_addr.
+     * @return true when such a store exists (forwarding)
+     */
+    bool saqForwards(InstSeq load_seq, Addr load_addr) const;
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_CORE_CONTEXT_HH

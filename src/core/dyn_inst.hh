@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DynInst: a dynamic instruction in flight, living in its thread's
+ * reorder buffer from dispatch to graduation.
+ */
+
+#ifndef MTDAE_CORE_DYN_INST_HH
+#define MTDAE_CORE_DYN_INST_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace mtdae {
+
+/** Lifecycle of a dynamic instruction. */
+enum class InstState : std::uint8_t {
+    Dispatched,  ///< Renamed, waiting in a unit queue.
+    Issued,      ///< Executing on a functional unit / memory access.
+    Completed,   ///< Result produced; waiting to graduate in order.
+    Graduated,   ///< Retired.
+};
+
+/**
+ * One in-flight instruction. Owned by the per-thread ROB (a deque whose
+ * element references are stable under push_back/pop_front); the unit
+ * queues hold pointers into it.
+ */
+struct DynInst
+{
+    TraceInst ti;              ///< The trace record.
+    InstSeq seq = 0;           ///< Per-thread program order.
+    Unit unit = Unit::AP;      ///< Steered processing unit.
+    InstState state = InstState::Dispatched;
+
+    PhysReg physDst = kNoPhysReg;     ///< Renamed destination.
+    PhysReg oldPhysDst = kNoPhysReg;  ///< Previous mapping (freed at grad).
+    std::array<PhysReg, 3> physSrc = {kNoPhysReg, kNoPhysReg,
+                                      kNoPhysReg};  ///< Renamed sources.
+
+    Cycle dispatchedAt = 0;    ///< Dispatch cycle (debug/stats).
+    Cycle readyAt = kNoCycle;  ///< Completion cycle, known at issue.
+    bool mispredicted = false; ///< Conditional branch mispredicted.
+    bool loadMissed = false;   ///< Load that missed in the L1.
+    bool forwarded = false;    ///< Load satisfied by SAQ forwarding.
+    std::uint32_t missToken = 0xffffffffu;  ///< Perceived-latency token.
+
+    /** True for conditional branches (unresolved-branch bookkeeping). */
+    bool isCondBr() const { return isCondBranch(ti.op); }
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_CORE_DYN_INST_HH

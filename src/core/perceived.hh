@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Perceived load-miss latency, the paper's latency-hiding metric: the
+ * number of cycles an instruction that uses load data cannot issue —
+ * while a free issue slot exists — because the load miss is outstanding.
+ * Accumulated per miss and averaged over all misses (hits excluded;
+ * fully-hidden misses contribute zero).
+ */
+
+#ifndef MTDAE_CORE_PERCEIVED_HH
+#define MTDAE_CORE_PERCEIVED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+/**
+ * Tracks outstanding load misses of one thread and the issue-head stall
+ * cycles attributed to each.
+ */
+class PerceivedTracker
+{
+  public:
+    /** Token meaning "no miss being tracked". */
+    static constexpr std::uint32_t kNoToken = 0xffffffffu;
+
+    /**
+     * Begin tracking a load miss.
+     * @param is_int true for integer loads, false for FP loads
+     * @return token to attribute stalls with
+     */
+    std::uint32_t
+    open(bool is_int)
+    {
+        std::uint32_t tok;
+        if (!free_.empty()) {
+            tok = free_.back();
+            free_.pop_back();
+        } else {
+            tok = std::uint32_t(slots_.size());
+            slots_.push_back({});
+        }
+        slots_[tok] = {0, is_int, true};
+        return tok;
+    }
+
+    /** Attribute one stall cycle to the miss behind @p token. */
+    void
+    stall(std::uint32_t token)
+    {
+        MTDAE_ASSERT(token < slots_.size() && slots_[token].active,
+                     "stall on a closed perceived-latency token");
+        slots_[token].stalls += 1;
+    }
+
+    /** The miss completed: fold its stalls into the per-class average. */
+    void
+    close(std::uint32_t token)
+    {
+        MTDAE_ASSERT(token < slots_.size() && slots_[token].active,
+                     "double close of a perceived-latency token");
+        Slot &s = slots_[token];
+        s.active = false;
+        if (s.isInt) {
+            intStalls_ += s.stalls;
+            intMisses_ += 1;
+        } else {
+            fpStalls_ += s.stalls;
+            fpMisses_ += 1;
+        }
+        free_.push_back(token);
+    }
+
+    /** Accumulated stall cycles attributed to integer-load misses. */
+    std::uint64_t intStalls() const { return intStalls_; }
+    /** Accumulated stall cycles attributed to FP-load misses. */
+    std::uint64_t fpStalls() const { return fpStalls_; }
+    /** Completed integer-load misses. */
+    std::uint64_t intMisses() const { return intMisses_; }
+    /** Completed FP-load misses. */
+    std::uint64_t fpMisses() const { return fpMisses_; }
+
+    /** Average perceived latency of integer-load misses. */
+    double
+    intPerceived() const
+    {
+        return intMisses_ ? double(intStalls_) / double(intMisses_) : 0.0;
+    }
+
+    /** Average perceived latency of FP-load misses. */
+    double
+    fpPerceived() const
+    {
+        return fpMisses_ ? double(fpStalls_) / double(fpMisses_) : 0.0;
+    }
+
+    /** Zero the accumulated statistics (open misses keep tracking). */
+    void
+    resetStats()
+    {
+        intStalls_ = fpStalls_ = 0;
+        intMisses_ = fpMisses_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t stalls = 0;
+        bool isInt = false;
+        bool active = false;
+    };
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_;
+    std::uint64_t intStalls_ = 0;
+    std::uint64_t fpStalls_ = 0;
+    std::uint64_t intMisses_ = 0;
+    std::uint64_t fpMisses_ = 0;
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_CORE_PERCEIVED_HH

@@ -1,0 +1,532 @@
+#include "core/simulator.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+Simulator::Simulator(const SimConfig &cfg,
+                     std::vector<std::unique_ptr<TraceSource>> sources)
+    : cfg_(cfg), mem_(cfg)
+{
+    cfg_.validate();
+    MTDAE_ASSERT(sources.size() == cfg_.numThreads,
+                 "need exactly one trace source per hardware context (",
+                 sources.size(), " given, ", cfg_.numThreads, " threads)");
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t)
+        contexts_.push_back(
+            std::make_unique<Context>(t, cfg_, std::move(sources[t])));
+}
+
+// ---------------------------------------------------------------------
+// Completion (writeback)
+// ---------------------------------------------------------------------
+
+void
+Simulator::processCompletions()
+{
+    while (!events_.empty() && events_.top().at <= now_) {
+        const Event ev = events_.top();
+        events_.pop();
+        DynInst *di = ev.inst;
+        Context &ctx = *contexts_[ev.tid];
+
+        MTDAE_ASSERT(di->state == InstState::Issued,
+                     "completion of a non-issued instruction");
+        di->state = InstState::Completed;
+
+        if (di->ti.dst.valid())
+            ctx.file(di->ti.dst.cls).setReady(di->physDst);
+
+        if (di->loadMissed)
+            ctx.perceived.close(di->missToken);
+
+        if (di->isCondBr()) {
+            MTDAE_ASSERT(ctx.unresolvedBranches > 0,
+                         "branch resolution underflow");
+            ctx.unresolvedBranches -= 1;
+            if (di->mispredicted && ctx.fetchBlocked &&
+                ctx.blockingBranchSeq == di->seq) {
+                ctx.fetchBlocked = false;
+                ctx.fetchResumeAt = now_ + cfg_.redirectPenalty;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+bool
+Simulator::tryIssue(Context &ctx, DynInst &di)
+{
+    // Non-decoupled mode: the instruction queues are disabled, so a
+    // thread issues in strict program order across both units.
+    if (!cfg_.decoupled && di.seq != ctx.nextIssueSeq)
+        return false;
+
+    if (isStore(di.ti.op)) {
+        // A store issues on the AP when its *address* operands are
+        // ready; the data may arrive later (possibly from the EP).
+        if (!ctx.storeAddrReady(di))
+            return false;
+    } else {
+        if (!ctx.operandsReady(di))
+            return false;
+    }
+
+    Cycle ready_at;
+    if (isLoad(di.ti.op)) {
+        if (ctx.saqForwards(di.seq, di.ti.addr)) {
+            // Forwarded from an older store in the SAQ: no cache access.
+            di.forwarded = true;
+            ready_at = now_ + 1;
+            forwardedLoads_ += 1;
+        } else {
+            const MemResult r = mem_.load(di.ti.addr, now_);
+            if (!r.accepted)
+                return false;  // no port / no MSHR / frame conflict
+            ready_at = r.readyAt;
+            if (r.miss()) {
+                di.loadMissed = true;
+                di.missToken =
+                    ctx.perceived.open(di.ti.op == Opcode::LdI);
+                ctx.file(di.ti.dst.cls).producer(di.physDst).missToken =
+                    di.missToken;
+            }
+        }
+    } else if (isStore(di.ti.op)) {
+        // Address generation; the SAQ entry becomes visible to loads.
+        bool deposited = false;
+        for (auto &e : ctx.saq) {
+            if (e.inst == &di) {
+                e.addrValid = true;
+                e.addr = di.ti.addr;
+                deposited = true;
+                break;
+            }
+        }
+        MTDAE_ASSERT(deposited, "store issued without a SAQ entry");
+        ready_at = now_ + cfg_.apLatency;
+    } else {
+        const std::uint32_t lat =
+            di.unit == Unit::AP ? cfg_.apLatency : cfg_.epLatency;
+        ready_at = now_ + lat;
+    }
+
+    di.state = InstState::Issued;
+    di.readyAt = ready_at;
+    events_.push(Event{ready_at, ctx.tid, &di});
+    if (!cfg_.decoupled)
+        ctx.nextIssueSeq = di.seq + 1;
+    return true;
+}
+
+std::uint32_t
+Simulator::issueUnit(Unit unit, std::uint32_t &slots)
+{
+    const std::uint32_t nthreads = cfg_.numThreads;
+    std::uint32_t issued = 0;
+    for (std::uint32_t i = 0; i < nthreads && slots > 0; ++i) {
+        Context &ctx = *contexts_[(rrIssue_ + i) % nthreads];
+        auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
+        while (slots > 0 && !queue.empty()) {
+            DynInst *di = queue.front();
+            if (!tryIssue(ctx, *di))
+                break;
+            queue.pop_front();
+            slots -= 1;
+            issued += 1;
+        }
+    }
+    return issued;
+}
+
+void
+Simulator::accountSlots(Unit unit, std::uint32_t free_slots)
+{
+    SlotBreakdown &bd = unit == Unit::AP ? slotsAp_ : slotsEp_;
+    const std::uint32_t width =
+        unit == Unit::AP ? cfg_.apUnits : cfg_.epUnits;
+    bd.add(SlotUse::Useful, width - free_slots);
+    if (free_slots == 0)
+        return;
+
+    // Classify each thread's head-of-queue stall, then spread the unused
+    // slots round-robin over the classifications (paper Figure 3).
+    std::vector<SlotUse> reasons;
+    reasons.reserve(cfg_.numThreads);
+    for (std::uint32_t i = 0; i < cfg_.numThreads; ++i) {
+        Context &ctx = *contexts_[(rrIssue_ + i) % cfg_.numThreads];
+        auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
+        if (queue.empty()) {
+            // Nothing available: an idle or wrong-path-gated front end.
+            reasons.push_back(SlotUse::Idle);
+            continue;
+        }
+        DynInst *di = queue.front();
+        if (!cfg_.decoupled && di->seq != ctx.nextIssueSeq) {
+            // Gated by program order (the other unit holds the oldest).
+            reasons.push_back(SlotUse::Other);
+            continue;
+        }
+        std::uint32_t tok = PerceivedTracker::kNoToken;
+        const Producer::Kind k = ctx.stallSource(*di, tok);
+        if (k == Producer::Kind::Load) {
+            reasons.push_back(SlotUse::WaitMem);
+            // A free slot existed and the head could not issue because
+            // of an outstanding load miss: one perceived stall cycle.
+            if (tok != PerceivedTracker::kNoToken)
+                ctx.perceived.stall(tok);
+        } else if (k == Producer::Kind::Fu) {
+            reasons.push_back(SlotUse::WaitFu);
+        } else {
+            // Operands ready but not issued: structural (cache port,
+            // MSHR, frame conflict) or same-cycle dependence.
+            reasons.push_back(SlotUse::Other);
+        }
+    }
+    for (std::uint32_t s = 0; s < free_slots; ++s)
+        bd.add(reasons[s % reasons.size()]);
+}
+
+void
+Simulator::issueStage()
+{
+    std::uint32_t slots_ap = cfg_.apUnits;
+    std::uint32_t slots_ep = cfg_.epUnits;
+    // Two passes so that, in non-decoupled mode, an AP instruction
+    // unblocked by an EP issue this cycle (or vice versa) can still
+    // dual-issue, as an in-order superscalar would.
+    for (int pass = 0; pass < 2; ++pass) {
+        std::uint32_t issued = 0;
+        issued += issueUnit(Unit::AP, slots_ap);
+        issued += issueUnit(Unit::EP, slots_ep);
+        if (issued == 0)
+            break;
+    }
+    accountSlots(Unit::AP, slots_ap);
+    accountSlots(Unit::EP, slots_ep);
+    rrIssue_ = (rrIssue_ + 1) % cfg_.numThreads;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch (rename & steer)
+// ---------------------------------------------------------------------
+
+bool
+Simulator::tryDispatch(Context &ctx)
+{
+    MTDAE_ASSERT(!ctx.fetchBuf.empty(), "dispatch from an empty buffer");
+    const FetchedInst &fi = ctx.fetchBuf.front();
+    const TraceInst &ti = fi.ti;
+    const Unit unit = ti.unit();
+
+    if (ctx.rob.size() >= cfg_.robEntries)
+        return false;
+    if (ti.op != Opcode::Nop) {
+        auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
+        const std::size_t cap =
+            unit == Unit::AP ? cfg_.apQueueEntries : cfg_.iqEntries;
+        if (queue.size() >= cap)
+            return false;
+    }
+    if (isStore(ti.op) && ctx.saq.size() >= cfg_.saqEntries)
+        return false;
+    if (ti.dst.valid() && !ctx.file(ti.dst.cls).hasFree())
+        return false;
+
+    ctx.rob.emplace_back();
+    DynInst &di = ctx.rob.back();
+    di.ti = ti;
+    di.seq = fi.seq;
+    di.unit = unit;
+    di.dispatchedAt = now_;
+    di.mispredicted = fi.mispredicted;
+
+    for (int i = 0; i < 3; ++i)
+        if (ti.src[i].valid())
+            di.physSrc[i] = ctx.file(ti.src[i].cls).map(ti.src[i].idx);
+
+    if (ti.dst.valid()) {
+        RegFile &rf = ctx.file(ti.dst.cls);
+        di.physDst = rf.rename(ti.dst.idx, di.oldPhysDst);
+        rf.producer(di.physDst).kind = isLoad(ti.op)
+            ? Producer::Kind::Load : Producer::Kind::Fu;
+    }
+
+    if (ti.op == Opcode::Nop) {
+        // Nops retire without issuing.
+        di.state = InstState::Completed;
+    } else {
+        auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
+        queue.push_back(&di);
+        if (isStore(ti.op))
+            ctx.saq.push_back(SaqEntry{&di, di.seq, false, 0});
+    }
+
+    ctx.fetchBuf.pop_front();
+    return true;
+}
+
+void
+Simulator::dispatchStage()
+{
+    std::uint32_t budget = cfg_.dispatchWidth;
+    const std::uint32_t nthreads = cfg_.numThreads;
+    for (std::uint32_t i = 0; i < nthreads && budget > 0; ++i) {
+        Context &ctx = *contexts_[(rrDispatch_ + i) % nthreads];
+        while (budget > 0 && !ctx.fetchBuf.empty()) {
+            if (!tryDispatch(ctx))
+                break;
+            budget -= 1;
+        }
+    }
+    rrDispatch_ = (rrDispatch_ + 1) % nthreads;
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+bool
+Simulator::ensurePending(Context &ctx)
+{
+    if (ctx.hasPending)
+        return true;
+    if (ctx.traceDone)
+        return false;
+    if (!ctx.source->next(ctx.pendingInst)) {
+        ctx.traceDone = true;
+        return false;
+    }
+    ctx.hasPending = true;
+    return true;
+}
+
+void
+Simulator::fetchThread(Context &ctx)
+{
+    std::uint32_t count = 0;
+    while (count < cfg_.fetchWidth &&
+           ctx.fetchBuf.size() < cfg_.fetchBufferSize) {
+        if (!ensurePending(ctx))
+            break;
+        const TraceInst &ti = ctx.pendingInst;
+        // Control speculation limit: cannot fetch past another
+        // conditional branch while the maximum are unresolved.
+        if (isCondBranch(ti.op) &&
+            ctx.unresolvedBranches >= cfg_.maxUnresolvedBranches)
+            break;
+
+        FetchedInst fi;
+        fi.ti = ti;
+        fi.seq = ctx.nextSeq++;
+        ctx.hasPending = false;
+        count += 1;
+
+        bool stop = false;
+        if (isCondBranch(ti.op)) {
+            ctx.unresolvedBranches += 1;
+            condBranches_ += 1;
+            const bool predicted = ctx.predictor->predict(ti.pc);
+            ctx.predictor->update(ti.pc, ti.taken);
+            if (predicted != ti.taken) {
+                // Trace-driven wrong path: fetch is gated until the
+                // branch resolves, then redirected.
+                mispredicts_ += 1;
+                fi.mispredicted = true;
+                ctx.fetchBlocked = true;
+                ctx.blockingBranchSeq = fi.seq;
+                stop = true;
+            } else if (ti.taken) {
+                stop = true;  // a taken branch ends the fetch block
+            }
+        } else if (ti.op == Opcode::Jmp) {
+            stop = true;
+        }
+
+        ctx.fetchBuf.push_back(fi);
+        if (stop)
+            break;
+    }
+}
+
+void
+Simulator::fetchStage()
+{
+    // Candidate threads, ICOUNT-ordered: fewest pending-dispatch
+    // instructions first (RR-2.8 with I-COUNT, per the paper).
+    std::vector<std::uint32_t> cand;
+    for (std::uint32_t i = 0; i < cfg_.numThreads; ++i) {
+        const std::uint32_t t = (rrFetch_ + i) % cfg_.numThreads;
+        Context &ctx = *contexts_[t];
+        if (ctx.fetchBlocked || now_ < ctx.fetchResumeAt)
+            continue;
+        if (ctx.traceDone && !ctx.hasPending)
+            continue;
+        if (ctx.fetchBuf.size() >= cfg_.fetchBufferSize)
+            continue;
+        cand.push_back(t);
+    }
+    std::stable_sort(cand.begin(), cand.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return contexts_[a]->fetchBuf.size() <
+                                contexts_[b]->fetchBuf.size();
+                     });
+    const std::size_t n =
+        std::min<std::size_t>(cand.size(), cfg_.fetchThreadsPerCycle);
+    for (std::size_t i = 0; i < n; ++i)
+        fetchThread(*contexts_[cand[i]]);
+    rrFetch_ = (rrFetch_ + 1) % cfg_.numThreads;
+}
+
+// ---------------------------------------------------------------------
+// Graduation
+// ---------------------------------------------------------------------
+
+void
+Simulator::graduateStage()
+{
+    for (auto &ctxp : contexts_) {
+        Context &ctx = *ctxp;
+        std::uint32_t width = cfg_.graduateWidth;
+        while (width > 0 && !ctx.rob.empty()) {
+            DynInst &di = ctx.rob.front();
+            if (di.state != InstState::Completed)
+                break;
+            if (isStore(di.ti.op)) {
+                // The store leaves the SAQ and writes the cache when its
+                // data is available (FP store data comes from the EP).
+                if (!ctx.storeDataReady(di))
+                    break;
+                const MemResult r = mem_.store(di.ti.addr, now_);
+                if (!r.accepted)
+                    break;  // port/MSHR pressure: retry next cycle
+                MTDAE_ASSERT(!ctx.saq.empty() &&
+                             ctx.saq.front().inst == &di,
+                             "SAQ out of order at graduation");
+                ctx.saq.pop_front();
+            }
+            if (di.oldPhysDst != kNoPhysReg)
+                ctx.file(di.ti.dst.cls).release(di.oldPhysDst);
+            di.state = InstState::Graduated;
+            ctx.rob.pop_front();
+            ctx.graduated += 1;
+            totalGraduated_ += 1;
+            lastGraduation_ = now_;
+            width -= 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+void
+Simulator::step()
+{
+    mem_.beginCycle(now_);
+    processCompletions();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    graduateStage();
+    now_ += 1;
+}
+
+bool
+Simulator::allDone() const
+{
+    for (const auto &ctxp : contexts_) {
+        const Context &ctx = *ctxp;
+        if (!ctx.traceDone || ctx.hasPending || !ctx.fetchBuf.empty() ||
+            !ctx.rob.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+Simulator::resetStats()
+{
+    measureStart_ = now_;
+    instsBase_ = totalGraduated_;
+    slotsAp_.reset();
+    slotsEp_.reset();
+    mispredicts_ = 0;
+    condBranches_ = 0;
+    forwardedLoads_ = 0;
+    mem_.resetStats(now_);
+    for (auto &ctxp : contexts_) {
+        ctxp->perceived.resetStats();
+        ctxp->predictor->resetStats();
+    }
+    lastGraduation_ = now_;
+}
+
+RunResult
+Simulator::snapshot() const
+{
+    RunResult r;
+    r.cycles = now_ - measureStart_;
+    r.insts = totalGraduated_ - instsBase_;
+    r.ipc = r.cycles ? double(r.insts) / double(r.cycles) : 0.0;
+
+    std::uint64_t fp_stalls = 0, int_stalls = 0;
+    for (const auto &ctxp : contexts_) {
+        const PerceivedTracker &p = ctxp->perceived;
+        fp_stalls += p.fpStalls();
+        int_stalls += p.intStalls();
+        r.fpMisses += p.fpMisses();
+        r.intMisses += p.intMisses();
+    }
+    r.perceivedFp = r.fpMisses ? double(fp_stalls) / r.fpMisses : 0.0;
+    r.perceivedInt = r.intMisses ? double(int_stalls) / r.intMisses : 0.0;
+    const std::uint64_t misses = r.fpMisses + r.intMisses;
+    r.perceivedAll =
+        misses ? double(fp_stalls + int_stalls) / misses : 0.0;
+
+    const MemStats &ms = mem_.stats();
+    r.loadMissRatio = ms.loadMiss.value();
+    r.storeMissRatio = ms.storeMiss.value();
+    r.missRatio = ms.missRatio();
+    const std::uint64_t accesses = ms.loadMiss.den + ms.storeMiss.den;
+    r.mergedRatio =
+        accesses ? double(ms.mergedMisses) / accesses : 0.0;
+    r.busUtilization = mem_.busUtilization(now_);
+
+    r.ap = slotsAp_;
+    r.ep = slotsEp_;
+    r.mispredictRate =
+        condBranches_ ? double(mispredicts_) / condBranches_ : 0.0;
+    return r;
+}
+
+RunResult
+Simulator::run(std::uint64_t measure_insts, std::uint64_t max_cycles)
+{
+    auto guard = [&]() {
+        if (now_ - lastGraduation_ > 1000000)
+            MTDAE_PANIC("no graduation for 1M cycles at cycle ", now_,
+                        " — pipeline deadlock");
+    };
+
+    while (totalGraduated_ < cfg_.warmupInsts && now_ < max_cycles &&
+           !allDone()) {
+        step();
+        guard();
+    }
+    resetStats();
+    const std::uint64_t target = totalGraduated_ + measure_insts;
+    while (totalGraduated_ < target && now_ < max_cycles && !allDone()) {
+        step();
+        guard();
+    }
+    return snapshot();
+}
+
+} // namespace mtdae

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Issue-slot accounting in the paper's Figure 3 categories.
+ */
+
+#ifndef MTDAE_CORE_SLOT_STATS_HH
+#define MTDAE_CORE_SLOT_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mtdae {
+
+/** What one unit issue slot did in one cycle (paper Figure 3). */
+enum class SlotUse : std::uint8_t {
+    Useful,   ///< Issued an instruction.
+    WaitMem,  ///< Head stalled on an operand coming from a load.
+    WaitFu,   ///< Head stalled on an operand coming from an FU.
+    Idle,     ///< No instruction available (wrong path or idle front end).
+    Other,    ///< Structural: ports, MSHRs, issue-order gating, ...
+};
+
+/** Number of SlotUse categories. */
+inline constexpr std::size_t kNumSlotUses = 5;
+
+/** Per-unit accumulated slot usage. */
+struct SlotBreakdown
+{
+    std::array<std::uint64_t, kNumSlotUses> counts = {};
+
+    /** Record @p n slots of use @p u. */
+    void
+    add(SlotUse u, std::uint64_t n = 1)
+    {
+        counts[static_cast<std::size_t>(u)] += n;
+    }
+
+    /** Slots recorded in category @p u. */
+    std::uint64_t
+    count(SlotUse u) const
+    {
+        return counts[static_cast<std::size_t>(u)];
+    }
+
+    /** Total slots recorded. */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (auto c : counts)
+            t += c;
+        return t;
+    }
+
+    /** Fraction of slots in category @p u (0 when empty). */
+    double
+    fraction(SlotUse u) const
+    {
+        const std::uint64_t t = total();
+        return t ? double(count(u)) / double(t) : 0.0;
+    }
+
+    /** Zero all categories. */
+    void reset() { counts = {}; }
+};
+
+/** Display label of a category. */
+inline const char *
+slotUseName(SlotUse u)
+{
+    switch (u) {
+      case SlotUse::Useful:  return "useful";
+      case SlotUse::WaitMem: return "wait-mem";
+      case SlotUse::WaitFu:  return "wait-fu";
+      case SlotUse::Idle:    return "idle/wrong-path";
+      case SlotUse::Other:   return "other";
+    }
+    return "?";
+}
+
+} // namespace mtdae
+
+#endif // MTDAE_CORE_SLOT_STATS_HH

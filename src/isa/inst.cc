@@ -1,0 +1,42 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+namespace mtdae {
+
+namespace {
+
+void
+printReg(std::ostream &os, const RegRef &r)
+{
+    os << (r.cls == RegClass::Int ? 'r' : 'f') << int(r.idx);
+}
+
+} // namespace
+
+std::string
+TraceInst::disasm() const
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << pc << std::dec << ": " << mnemonic(op);
+    bool first = true;
+    if (dst.valid()) {
+        os << ' ';
+        printReg(os, dst);
+        first = false;
+    }
+    for (const auto &s : src) {
+        if (!s.valid())
+            continue;
+        os << (first ? " " : ", ");
+        printReg(os, s);
+        first = false;
+    }
+    if (isMem(op))
+        os << " @0x" << std::hex << addr << std::dec;
+    if (isCondBranch(op))
+        os << (taken ? " [taken]" : " [not-taken]");
+    return os.str();
+}
+
+} // namespace mtdae

@@ -1,0 +1,100 @@
+#include "isa/opcode.hh"
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LdI || op == Opcode::LdF;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::StI || op == Opcode::StF;
+}
+
+bool
+isMem(Opcode op)
+{
+    return isLoad(op) || isStore(op);
+}
+
+bool
+isBranch(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::BrF || op == Opcode::Jmp;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::BrF;
+}
+
+bool
+isFpOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FMA:
+      case Opcode::FCmp:
+      case Opcode::FMov:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Unit
+unitOf(Opcode op)
+{
+    // Memory and control always execute on the AP (the paper dispatches
+    // *all* memory instructions to the AP); MovIF produces an FP value and
+    // executes on the EP; FP computation executes on the EP; everything
+    // else is integer work on the AP.
+    if (isMem(op) || isBranch(op))
+        return Unit::AP;
+    if (op == Opcode::MovIF || isFpOp(op))
+        return Unit::EP;
+    return Unit::AP;
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:    return "nop";
+      case Opcode::IAdd:   return "iadd";
+      case Opcode::ISub:   return "isub";
+      case Opcode::IMul:   return "imul";
+      case Opcode::ILogic: return "ilogic";
+      case Opcode::IShift: return "ishift";
+      case Opcode::ICmp:   return "icmp";
+      case Opcode::FAdd:   return "fadd";
+      case Opcode::FSub:   return "fsub";
+      case Opcode::FMul:   return "fmul";
+      case Opcode::FDiv:   return "fdiv";
+      case Opcode::FMA:    return "fma";
+      case Opcode::FCmp:   return "fcmp";
+      case Opcode::FMov:   return "fmov";
+      case Opcode::MovIF:  return "movif";
+      case Opcode::MovFI:  return "movfi";
+      case Opcode::LdI:    return "ldi";
+      case Opcode::LdF:    return "ldf";
+      case Opcode::StI:    return "sti";
+      case Opcode::StF:    return "stf";
+      case Opcode::Br:     return "br";
+      case Opcode::BrF:    return "brf";
+      case Opcode::Jmp:    return "jmp";
+      default:
+        MTDAE_PANIC("mnemonic: bad opcode ", int(op));
+    }
+}
+
+} // namespace mtdae

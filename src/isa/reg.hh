@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Architectural register references for the mini load/store ISA.
+ *
+ * The ISA has two 32-entry architectural register files, mirroring the
+ * DEC Alpha split the paper relies on for its data-type steering rule:
+ * integer registers live in the AP file, FP registers in the EP file.
+ */
+
+#ifndef MTDAE_ISA_REG_HH
+#define MTDAE_ISA_REG_HH
+
+#include <cstdint>
+
+namespace mtdae {
+
+/** Which architectural register file a register belongs to. */
+enum class RegClass : std::uint8_t {
+    Int,  ///< Integer register (renamed into the AP physical file).
+    Fp,   ///< Floating-point register (renamed into the EP physical file).
+};
+
+/**
+ * A reference to one architectural register, or "none".
+ */
+struct RegRef
+{
+    RegClass cls = RegClass::Int;  ///< Register file.
+    std::uint8_t idx = kNone;      ///< Index within the file, or kNone.
+
+    /** Sentinel index meaning "no register". */
+    static constexpr std::uint8_t kNone = 0xff;
+
+    /** True when this reference names a real register. */
+    bool valid() const { return idx != kNone; }
+
+    /** Make an integer register reference. */
+    static RegRef intReg(std::uint8_t i) { return {RegClass::Int, i}; }
+
+    /** Make an FP register reference. */
+    static RegRef fpReg(std::uint8_t i) { return {RegClass::Fp, i}; }
+
+    /** Make the "no register" reference. */
+    static RegRef none() { return {RegClass::Int, kNone}; }
+
+    bool
+    operator==(const RegRef &o) const
+    {
+        return cls == o.cls && idx == o.idx;
+    }
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_ISA_REG_HH

@@ -1,0 +1,174 @@
+#include "memory/memory_system.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+MemorySystem::MemorySystem(const SimConfig &cfg)
+    : lineBytes_(cfg.l1LineBytes),
+      ports_(cfg.l1Ports),
+      l1HitLatency_(cfg.l1HitLatency),
+      l2Latency_(cfg.l2Latency),
+      transferCycles_(cfg.lineTransferCycles()),
+      lines_(cfg.l1Bytes / cfg.l1LineBytes),
+      mshrs_(cfg.mshrs)
+{
+    const std::uint32_t frames = cfg.l1Bytes / cfg.l1LineBytes;
+    MTDAE_ASSERT((frames & (frames - 1)) == 0,
+                 "direct-mapped L1 needs a power-of-two frame count");
+    frameBits_ = std::countr_zero(frames);
+    frameMask_ = frames - 1;
+}
+
+void
+MemorySystem::beginCycle(Cycle now)
+{
+    currentCycle_ = now;
+    portsUsed_ = 0;
+    // Recycle MSHRs whose fills completed; the frame becomes a normal
+    // valid (and possibly dirty) line.
+    for (auto &m : mshrs_) {
+        if (m.valid && m.readyAt <= now) {
+            Line &line = lines_[m.frame];
+            MTDAE_ASSERT(line.pendingMshr >= 0, "fill without pending line");
+            line.pendingMshr = -1;
+            line.valid = true;
+            line.tag = tagOf(m.lineAddr);
+            if (m.makeDirty)
+                line.dirty = true;
+            m.valid = false;
+            MTDAE_ASSERT(mshrsInUse_ > 0, "MSHR accounting underflow");
+            --mshrsInUse_;
+        }
+    }
+}
+
+MemorySystem::Mshr *
+MemorySystem::findMshr(std::uint64_t line)
+{
+    for (auto &m : mshrs_)
+        if (m.valid && m.lineAddr == line)
+            return &m;
+    return nullptr;
+}
+
+MemorySystem::Mshr *
+MemorySystem::allocMshr()
+{
+    for (auto &m : mshrs_)
+        if (!m.valid)
+            return &m;
+    return nullptr;
+}
+
+MemResult
+MemorySystem::access(Addr addr, bool is_store, Cycle now)
+{
+    MTDAE_ASSERT(now == currentCycle_, "access outside beginCycle interval");
+    MemResult res;
+    lastReject_ = MemReject::None;
+
+    if (portsUsed_ >= ports_) {
+        lastReject_ = MemReject::NoPort;
+        stats_.rejects += 1;
+        return res;
+    }
+
+    const std::uint64_t line = lineOf(addr);
+    const std::uint32_t frame = frameOf(line);
+    Line &l1 = lines_[frame];
+
+    // Hit on a resident line.
+    if (l1.valid && l1.pendingMshr < 0 && l1.tag == tagOf(line)) {
+        ++portsUsed_;
+        res.accepted = true;
+        res.hit = true;
+        res.readyAt = now + l1HitLatency_;
+        if (is_store) {
+            l1.dirty = true;
+            stats_.storeMiss.event(false);
+        } else {
+            stats_.loadMiss.event(false);
+        }
+        return res;
+    }
+
+    // Secondary miss: merge into the pending fill of the same line.
+    // Counted as a delayed hit for the miss-ratio statistics.
+    if (Mshr *m = findMshr(line)) {
+        ++portsUsed_;
+        res.accepted = true;
+        res.hit = false;
+        res.merged = true;
+        res.readyAt = m->readyAt;
+        if (is_store) {
+            m->makeDirty = true;
+            stats_.storeMiss.event(false);
+        } else {
+            stats_.loadMiss.event(false);
+        }
+        stats_.mergedMisses += 1;
+        return res;
+    }
+
+    // A different line is being filled into this frame: the frame is
+    // busy until the fill lands; retry later.
+    if (l1.pendingMshr >= 0) {
+        lastReject_ = MemReject::Conflict;
+        stats_.rejects += 1;
+        return res;
+    }
+
+    // Primary miss: needs a free MSHR.
+    Mshr *m = allocMshr();
+    if (!m) {
+        lastReject_ = MemReject::NoMshr;
+        stats_.rejects += 1;
+        return res;
+    }
+
+    ++portsUsed_;
+
+    // Dirty victim: schedule its write-back transfer on the shared bus
+    // ahead of the fill (the victim leaves before the new line arrives).
+    if (l1.valid && l1.dirty) {
+        bus_.reserve(now, transferCycles_);
+        stats_.writebacks += 1;
+    }
+
+    // Fill: the L2 (infinite, multibanked) produces the line after its
+    // access latency; the bus then carries it, FIFO with other transfers.
+    const Cycle fill_done =
+        bus_.reserve(now + l2Latency_, transferCycles_);
+
+    m->valid = true;
+    m->lineAddr = line;
+    m->readyAt = fill_done;
+    m->makeDirty = is_store;
+    m->frame = frame;
+    ++mshrsInUse_;
+
+    l1.pendingMshr = static_cast<std::int32_t>(m - mshrs_.data());
+    l1.valid = false;
+    l1.dirty = false;
+
+    res.accepted = true;
+    res.hit = false;
+    res.readyAt = fill_done;
+    if (is_store)
+        stats_.storeMiss.event(true);
+    else
+        stats_.loadMiss.event(true);
+    return res;
+}
+
+void
+MemorySystem::resetStats(Cycle now)
+{
+    stats_.reset();
+    bus_.resetStats(now);
+}
+
+} // namespace mtdae

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The data memory hierarchy of the simulated machine: a direct-mapped,
+ * write-back, write-allocate, lockup-free L1 with a fixed number of MSHRs
+ * and ports, backed by an infinite multibanked L2 across a shared bus.
+ *
+ * Timing model (documented in DESIGN.md §5): an L1 miss costs the L2
+ * latency, plus bus queueing, plus the line transfer (lineBytes /
+ * busBytesPerCycle cycles); a dirty eviction occupies the bus for one
+ * further line transfer. The L2 itself never misses, per the paper.
+ */
+
+#ifndef MTDAE_MEMORY_MEMORY_SYSTEM_HH
+#define MTDAE_MEMORY_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/bus.hh"
+
+namespace mtdae {
+
+/**
+ * Outcome of one L1 access attempt.
+ */
+struct MemResult
+{
+    bool accepted = false;  ///< False: structural reject, retry later.
+    bool hit = false;       ///< Valid when accepted.
+    bool merged = false;    ///< Secondary miss merged into a pending fill.
+    Cycle readyAt = 0;      ///< Cycle the data is available (loads).
+
+    /** Accepted and missed in the L1 (primary or merged). */
+    bool miss() const { return accepted && !hit; }
+};
+
+/** Why an access was not accepted this cycle. */
+enum class MemReject : std::uint8_t {
+    None,     ///< Accepted.
+    NoPort,   ///< All L1 ports used this cycle.
+    NoMshr,   ///< Lockup-free miss capacity exhausted.
+    Conflict, ///< Line frame busy with a pending fill of another tag.
+};
+
+/**
+ * Aggregate memory-system statistics. The miss ratios count *primary*
+ * misses only; secondary misses merged into a pending MSHR fill are
+ * tracked as mergedMisses (delayed hits) and excluded from the ratios,
+ * following the usual lockup-free-cache accounting.
+ */
+struct MemStats
+{
+    RatioStat loadMiss;    ///< num = load misses, den = load accesses.
+    RatioStat storeMiss;   ///< num = store misses, den = store accesses.
+    std::uint64_t mergedMisses = 0;  ///< Secondary misses merged in MSHRs.
+    std::uint64_t writebacks = 0;    ///< Dirty lines written to L2.
+    std::uint64_t rejects = 0;       ///< Structural rejections (retries).
+
+    /** Combined load+store miss ratio. */
+    double
+    missRatio() const
+    {
+        const std::uint64_t den = loadMiss.den + storeMiss.den;
+        return den ? double(loadMiss.num + storeMiss.num) / den : 0.0;
+    }
+
+    void
+    reset()
+    {
+        loadMiss.reset();
+        storeMiss.reset();
+        mergedMisses = 0;
+        writebacks = 0;
+        rejects = 0;
+    }
+};
+
+/**
+ * The full data-side memory hierarchy. The core calls beginCycle() once
+ * per cycle, then issues loads (at AP issue time) and stores (at
+ * graduation) against the shared ports.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const SimConfig &cfg);
+
+    /** Start a new cycle: recycle ports and completed MSHRs. */
+    void beginCycle(Cycle now);
+
+    /** Attempt a load at cycle @p now. */
+    MemResult load(Addr addr, Cycle now) { return access(addr, false, now); }
+
+    /** Attempt a store at cycle @p now (write-allocate). */
+    MemResult store(Addr addr, Cycle now) { return access(addr, true, now); }
+
+    /** Reason the most recent non-accepted access was rejected. */
+    MemReject lastReject() const { return lastReject_; }
+
+    /** Number of MSHRs currently in flight. */
+    std::uint32_t mshrsInUse() const { return mshrsInUse_; }
+
+    /** Aggregate statistics. */
+    const MemStats &stats() const { return stats_; }
+
+    /** Bus utilisation over the current statistics interval. */
+    double busUtilization(Cycle now) const { return bus_.utilization(now); }
+
+    /** Reset statistics (start of the measured interval). */
+    void resetStats(Cycle now);
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::int32_t pendingMshr = -1;  ///< MSHR filling this frame, or -1.
+    };
+
+    struct Mshr
+    {
+        bool valid = false;
+        std::uint64_t lineAddr = 0;  ///< addr / lineBytes.
+        Cycle readyAt = 0;
+        bool makeDirty = false;      ///< A store merged into this fill.
+        std::uint32_t frame = 0;     ///< Cache frame being filled.
+    };
+
+    MemResult access(Addr addr, bool is_store, Cycle now);
+
+    std::uint64_t lineOf(Addr a) const { return a / lineBytes_; }
+    std::uint32_t frameOf(std::uint64_t line) const
+    {
+        return static_cast<std::uint32_t>(line & frameMask_);
+    }
+    std::uint64_t tagOf(std::uint64_t line) const
+    {
+        return line >> frameBits_;
+    }
+
+    Mshr *findMshr(std::uint64_t line);
+    Mshr *allocMshr();
+
+    std::uint32_t lineBytes_;
+    std::uint32_t frameBits_;
+    std::uint64_t frameMask_;
+    std::uint32_t ports_;
+    std::uint32_t l1HitLatency_;
+    std::uint32_t l2Latency_;
+    std::uint32_t transferCycles_;
+
+    std::vector<Line> lines_;
+    std::vector<Mshr> mshrs_;
+    std::uint32_t mshrsInUse_ = 0;
+    std::uint32_t portsUsed_ = 0;
+    Cycle currentCycle_ = 0;
+
+    Bus bus_;
+    MemStats stats_;
+    MemReject lastReject_ = MemReject::None;
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_MEMORY_MEMORY_SYSTEM_HH

@@ -1,0 +1,373 @@
+#include "workload/kernel.hh"
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+namespace {
+
+/** Operand-class signature of an opcode: dst and up to 3 sources. */
+struct OperandSig
+{
+    // 'i' = int reg, 'f' = fp reg, '-' = must be absent.
+    char dst, s0, s1, s2;
+    bool needsStream;
+};
+
+OperandSig
+sigOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:    return {'-', '-', '-', '-', false};
+      case Opcode::IAdd:
+      case Opcode::ISub:
+      case Opcode::IMul:
+      case Opcode::ILogic:
+      case Opcode::IShift: return {'i', 'i', '?', '-', false};
+      case Opcode::ICmp:   return {'i', 'i', '?', '-', false};
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:   return {'f', 'f', 'f', '-', false};
+      case Opcode::FMA:    return {'f', 'f', 'f', 'f', false};
+      case Opcode::FCmp:   return {'f', 'f', 'f', '-', false};
+      case Opcode::FMov:   return {'f', 'f', '-', '-', false};
+      case Opcode::MovIF:  return {'f', 'i', '-', '-', false};
+      case Opcode::MovFI:  return {'i', 'f', '-', '-', false};
+      case Opcode::LdI:    return {'i', 'i', '-', '-', true};
+      case Opcode::LdF:    return {'f', 'i', '-', '-', true};
+      case Opcode::StI:    return {'-', 'i', 'i', '-', true};
+      case Opcode::StF:    return {'-', 'i', 'f', '-', true};
+      case Opcode::Br:     return {'-', 'i', '-', '-', false};
+      case Opcode::BrF:    return {'-', 'f', '-', '-', false};
+      case Opcode::Jmp:    return {'-', '-', '-', '-', false};
+      default:
+        MTDAE_PANIC("sigOf: bad opcode");
+    }
+}
+
+void
+checkOperand(const Kernel &k, const char *what, char cls, int vreg)
+{
+    if (cls == '-') {
+        MTDAE_ASSERT(vreg < 0, k.name, ": unexpected ", what, " operand");
+        return;
+    }
+    if (cls == '?') {  // optional int source (immediate forms)
+        if (vreg < 0)
+            return;
+        cls = 'i';
+    }
+    MTDAE_ASSERT(vreg >= 0, k.name, ": missing ", what, " operand");
+    const int limit = cls == 'i' ? k.numIntRegs : k.numFpRegs;
+    MTDAE_ASSERT(vreg < limit, k.name, ": ", what, " vreg ", vreg,
+                 " out of range (", limit, ")");
+}
+
+} // namespace
+
+void
+Kernel::validate() const
+{
+    MTDAE_ASSERT(!ops.empty(), name, ": empty kernel");
+    MTDAE_ASSERT(numIntRegs > 0 && numIntRegs <= 32,
+                 name, ": int vreg count out of range");
+    MTDAE_ASSERT(numFpRegs >= 0 && numFpRegs <= 32,
+                 name, ": fp vreg count out of range");
+    MTDAE_ASSERT(ops.back().backedge,
+                 name, ": kernel must end with the loop back-edge");
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const KOp &o = ops[i];
+        const OperandSig sig = sigOf(o.op);
+        checkOperand(*this, "dst", sig.dst, o.dst);
+        checkOperand(*this, "src0", sig.s0, o.src0);
+        checkOperand(*this, "src1", sig.s1, o.src1);
+        checkOperand(*this, "src2", sig.s2, o.src2);
+        if (sig.needsStream) {
+            MTDAE_ASSERT(o.stream >= 0 &&
+                         o.stream < int(streams.size()),
+                         name, ": op ", i, " has a bad stream id");
+        } else {
+            MTDAE_ASSERT(o.stream < 0, name, ": op ", i,
+                         " must not reference a stream");
+        }
+        if (o.skip > 0) {
+            MTDAE_ASSERT(isCondBranch(o.op),
+                         name, ": only branches may skip");
+            MTDAE_ASSERT(i + 1 + o.skip < ops.size(),
+                         name, ": branch skip runs past the back-edge");
+        }
+        if (o.backedge)
+            MTDAE_ASSERT(i + 1 == ops.size(),
+                         name, ": back-edge must be the last op");
+    }
+
+    for (const StreamSpec &s : streams) {
+        MTDAE_ASSERT(s.footprint >= s.elemBytes,
+                     name, ": stream footprint smaller than an element");
+        MTDAE_ASSERT(s.elemBytes > 0, name, ": zero element size");
+        MTDAE_ASSERT(s.addrReg >= 0 && s.addrReg < numIntRegs,
+                     name, ": stream address register out of range");
+        if (s.kind == StreamSpec::Kind::Strided)
+            MTDAE_ASSERT(s.stride != 0, name, ": zero stride");
+    }
+}
+
+Kernel::Mix
+Kernel::mix() const
+{
+    Mix m;
+    for (const KOp &o : ops) {
+        m.total += 1;
+        if (isLoad(o.op))
+            m.loads += 1;
+        else if (isStore(o.op))
+            m.stores += 1;
+        else if (isBranch(o.op))
+            m.branches += 1;
+        else if (unitOf(o.op) == Unit::EP)
+            m.fpOps += 1;
+        else
+            m.intOps += 1;
+    }
+    return m;
+}
+
+KernelBuilder::KernelBuilder()
+{
+    loopReg_ = intReg();
+}
+
+int
+KernelBuilder::intReg()
+{
+    MTDAE_ASSERT(k_.numIntRegs < 32, "kernel uses too many int registers");
+    return k_.numIntRegs++;
+}
+
+int
+KernelBuilder::fpReg()
+{
+    MTDAE_ASSERT(k_.numFpRegs < 32, "kernel uses too many fp registers");
+    return k_.numFpRegs++;
+}
+
+KernelBuilder::Stream
+KernelBuilder::strided(std::uint64_t footprint, std::int64_t stride,
+                       std::uint32_t elem_bytes)
+{
+    return stridedShared(footprint, stride, intReg(), elem_bytes);
+}
+
+KernelBuilder::Stream
+KernelBuilder::stridedShared(std::uint64_t footprint, std::int64_t stride,
+                             int addr_reg, std::uint32_t elem_bytes)
+{
+    StreamSpec s;
+    s.kind = StreamSpec::Kind::Strided;
+    s.footprint = footprint;
+    s.stride = stride;
+    s.elemBytes = elem_bytes;
+    s.addrReg = addr_reg;
+    k_.streams.push_back(s);
+    return {int(k_.streams.size()) - 1, addr_reg};
+}
+
+KernelBuilder::Stream
+KernelBuilder::gather(std::uint64_t footprint, int idx_reg,
+                      std::uint32_t elem_bytes)
+{
+    StreamSpec s;
+    s.kind = StreamSpec::Kind::Gather;
+    s.footprint = footprint;
+    s.stride = 0;
+    s.elemBytes = elem_bytes;
+    s.addrReg = idx_reg;
+    k_.streams.push_back(s);
+    return {int(k_.streams.size()) - 1, idx_reg};
+}
+
+void
+KernelBuilder::push(KOp op)
+{
+    MTDAE_ASSERT(!built_, "KernelBuilder reused after build()");
+    k_.ops.push_back(op);
+}
+
+int
+KernelBuilder::iop(Opcode op, int src0, int src1)
+{
+    const int dst = intReg();
+    iopInto(op, dst, src0, src1);
+    return dst;
+}
+
+void
+KernelBuilder::iopInto(Opcode op, int dst, int src0, int src1)
+{
+    KOp o;
+    o.op = op;
+    o.dst = dst;
+    o.src0 = src0;
+    o.src1 = src1;
+    push(o);
+}
+
+void
+KernelBuilder::advance(const Stream &s)
+{
+    iopInto(Opcode::IAdd, s.addrReg, s.addrReg);
+}
+
+int
+KernelBuilder::fop(Opcode op, int src0, int src1, int src2)
+{
+    const int dst = fpReg();
+    fopInto(op, dst, src0, src1, src2);
+    return dst;
+}
+
+void
+KernelBuilder::fopInto(Opcode op, int dst, int src0, int src1, int src2)
+{
+    KOp o;
+    o.op = op;
+    o.dst = dst;
+    o.src0 = src0;
+    o.src1 = src1;
+    o.src2 = src2;
+    push(o);
+}
+
+int
+KernelBuilder::movif(int int_src)
+{
+    const int dst = fpReg();
+    KOp o;
+    o.op = Opcode::MovIF;
+    o.dst = dst;
+    o.src0 = int_src;
+    push(o);
+    return dst;
+}
+
+int
+KernelBuilder::movfi(int fp_src)
+{
+    const int dst = intReg();
+    KOp o;
+    o.op = Opcode::MovFI;
+    o.dst = dst;
+    o.src0 = fp_src;
+    push(o);
+    return dst;
+}
+
+int
+KernelBuilder::ldf(const Stream &s)
+{
+    const int dst = fpReg();
+    ldfInto(dst, s);
+    return dst;
+}
+
+void
+KernelBuilder::ldfInto(int dst, const Stream &s)
+{
+    KOp o;
+    o.op = Opcode::LdF;
+    o.dst = dst;
+    o.src0 = s.addrReg;
+    o.stream = s.id;
+    push(o);
+}
+
+int
+KernelBuilder::ldi(const Stream &s)
+{
+    const int dst = intReg();
+    ldiInto(dst, s);
+    return dst;
+}
+
+void
+KernelBuilder::ldiInto(int dst, const Stream &s)
+{
+    KOp o;
+    o.op = Opcode::LdI;
+    o.dst = dst;
+    o.src0 = s.addrReg;
+    o.stream = s.id;
+    push(o);
+}
+
+void
+KernelBuilder::stf(const Stream &s, int fp_src)
+{
+    KOp o;
+    o.op = Opcode::StF;
+    o.src0 = s.addrReg;
+    o.src1 = fp_src;
+    o.stream = s.id;
+    push(o);
+}
+
+void
+KernelBuilder::sti(const Stream &s, int int_src)
+{
+    KOp o;
+    o.op = Opcode::StI;
+    o.src0 = s.addrReg;
+    o.src1 = int_src;
+    o.stream = s.id;
+    push(o);
+}
+
+void
+KernelBuilder::br(int cond_reg, float taken_prob, std::uint8_t skip)
+{
+    KOp o;
+    o.op = Opcode::Br;
+    o.src0 = cond_reg;
+    o.takenProb = taken_prob;
+    o.skip = skip;
+    push(o);
+}
+
+void
+KernelBuilder::brf(int fcond_reg, float taken_prob, std::uint8_t skip)
+{
+    KOp o;
+    o.op = Opcode::BrF;
+    o.src0 = fcond_reg;
+    o.takenProb = taken_prob;
+    o.skip = skip;
+    push(o);
+}
+
+Kernel
+KernelBuilder::build(std::string name)
+{
+    MTDAE_ASSERT(!built_, "KernelBuilder::build called twice");
+    built_ = true;
+
+    // Loop-counter update plus the back-edge branch that depends on it.
+    KOp upd;
+    upd.op = Opcode::IAdd;
+    upd.dst = loopReg_;
+    upd.src0 = loopReg_;
+    k_.ops.push_back(upd);
+
+    KOp be;
+    be.op = Opcode::Br;
+    be.src0 = loopReg_;
+    be.backedge = true;
+    k_.ops.push_back(be);
+
+    k_.name = std::move(name);
+    k_.validate();
+    return std::move(k_);
+}
+
+} // namespace mtdae

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Kernel: a loop-body description from which dynamic traces are expanded.
+ *
+ * This is the substitution for the paper's ATOM-instrumented Alpha
+ * binaries (DESIGN.md §2): a kernel captures the three properties the
+ * paper's metrics depend on — instruction mix, register dependence
+ * structure (in particular between address computation and FP
+ * computation), and memory access patterns — as a compact loop body with
+ * virtual registers and symbolic address streams.
+ */
+
+#ifndef MTDAE_WORKLOAD_KERNEL_HH
+#define MTDAE_WORKLOAD_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace mtdae {
+
+/**
+ * One symbolic memory access stream of a kernel.
+ */
+struct StreamSpec
+{
+    /** How effective addresses evolve over successive accesses. */
+    enum class Kind : std::uint8_t {
+        Strided,  ///< base + k*stride, wrapping within the footprint.
+        Gather,   ///< uniformly random element within the footprint.
+    };
+
+    Kind kind = Kind::Strided;
+    std::uint64_t footprint = 0;   ///< Bytes of the region (working set).
+    std::int64_t stride = 8;      ///< Byte stride (Strided only).
+    std::uint32_t elemBytes = 8;  ///< Element size/alignment.
+    int addrReg = -1;              ///< Int vreg carrying the address.
+};
+
+/**
+ * One operation of a kernel loop body. Register fields are virtual
+ * register ids; their class (int/fp) is implied by the opcode's operand
+ * semantics and checked by Kernel::validate().
+ */
+struct KOp
+{
+    Opcode op = Opcode::Nop;
+    int dst = -1;            ///< Destination vreg, or -1.
+    int src0 = -1;           ///< First source vreg, or -1.
+    int src1 = -1;           ///< Second source vreg, or -1.
+    int src2 = -1;           ///< Third source vreg (FMA), or -1.
+    int stream = -1;         ///< Address stream (memory ops), or -1.
+    std::uint8_t skip = 0;   ///< Body ops skipped when a branch is taken.
+    float takenProb = 0.0f;  ///< Taken probability (data-dep branches).
+    bool backedge = false;   ///< Loop back-edge (taken until trip ends).
+};
+
+/**
+ * A validated kernel: virtual register counts, address streams, and the
+ * loop body in program order. The final op is the loop back-edge.
+ */
+class Kernel
+{
+  public:
+    std::string name;               ///< Identifier (benchmark name).
+    std::vector<KOp> ops;           ///< Loop body, program order.
+    std::vector<StreamSpec> streams;///< Memory streams referenced by ops.
+    int numIntRegs = 0;             ///< Int vregs used (<= 32).
+    int numFpRegs = 0;              ///< FP vregs used (<= 32).
+
+    /** Panic if the kernel is malformed (see the .cc for the rules). */
+    void validate() const;
+
+    /** Instruction-mix census of one loop iteration. */
+    struct Mix
+    {
+        std::uint32_t loads = 0;
+        std::uint32_t stores = 0;
+        std::uint32_t fpOps = 0;
+        std::uint32_t intOps = 0;
+        std::uint32_t branches = 0;
+        std::uint32_t total = 0;
+    };
+
+    /** Compute the static instruction mix of the body. */
+    Mix mix() const;
+};
+
+/**
+ * Fluent builder for kernels. Register-allocation and operand-class
+ * bookkeeping are handled here so benchmark models stay readable.
+ */
+class KernelBuilder
+{
+  public:
+    /** Handle to a declared address stream. */
+    struct Stream
+    {
+        int id = -1;       ///< Index into Kernel::streams.
+        int addrReg = -1;  ///< Int vreg that carries the address.
+    };
+
+    KernelBuilder();
+
+    // --- registers ---------------------------------------------------
+    /** Allocate a fresh integer virtual register. */
+    int intReg();
+    /** Allocate a fresh FP virtual register. */
+    int fpReg();
+
+    // --- streams -----------------------------------------------------
+    /** Declare a strided stream with its own address register. */
+    Stream strided(std::uint64_t footprint, std::int64_t stride,
+                   std::uint32_t elem_bytes = 8);
+    /** Declare a strided stream sharing an existing address register. */
+    Stream stridedShared(std::uint64_t footprint, std::int64_t stride,
+                         int addr_reg, std::uint32_t elem_bytes = 8);
+    /**
+     * Declare a gather/scatter stream addressed by @p idx_reg — typically
+     * the destination of an integer index load, creating the int-load ->
+     * address dependence su2cor/wave5 exhibit.
+     */
+    Stream gather(std::uint64_t footprint, int idx_reg,
+                  std::uint32_t elem_bytes = 8);
+
+    // --- integer ops ---------------------------------------------------
+    /** dst = src0 op src1 into a fresh int register. */
+    int iop(Opcode op, int src0, int src1 = -1);
+    /** In-place integer op (loop-carried), e.g. induction updates. */
+    void iopInto(Opcode op, int dst, int src0, int src1 = -1);
+    /** Advance a stream's address register (IAdd addr, addr). */
+    void advance(const Stream &s);
+
+    // --- FP ops ----------------------------------------------------------
+    /** dst = src0 op src1 into a fresh FP register. */
+    int fop(Opcode op, int src0, int src1 = -1, int src2 = -1);
+    /** In-place FP op (accumulators and other loop-carried values). */
+    void fopInto(Opcode op, int dst, int src0, int src1 = -1,
+                 int src2 = -1);
+
+    // --- moves ----------------------------------------------------------
+    /** Move int -> fp (EP op reading an AP register). */
+    int movif(int int_src);
+    /** Move fp -> int (AP op reading an EP register). */
+    int movfi(int fp_src);
+
+    // --- memory ---------------------------------------------------------
+    /** FP load from @p s into a fresh FP register. */
+    int ldf(const Stream &s);
+    /** FP load into an existing register. */
+    void ldfInto(int dst, const Stream &s);
+    /** Integer load from @p s into a fresh int register. */
+    int ldi(const Stream &s);
+    /** Integer load into an existing register. */
+    void ldiInto(int dst, const Stream &s);
+    /** FP store of @p fp_src to @p s. */
+    void stf(const Stream &s, int fp_src);
+    /** Integer store of @p int_src to @p s. */
+    void sti(const Stream &s, int int_src);
+
+    // --- control ----------------------------------------------------------
+    /**
+     * Data-dependent conditional branch on an int register; when taken it
+     * skips the next @p skip body ops.
+     */
+    void br(int cond_reg, float taken_prob, std::uint8_t skip = 0);
+    /**
+     * Conditional branch on an FP condition register: executes on the AP
+     * but reads an EP result — the classic loss-of-decoupling event.
+     */
+    void brf(int fcond_reg, float taken_prob, std::uint8_t skip = 0);
+
+    /**
+     * Finish: appends the loop-counter update and back-edge branch, then
+     * validates. The builder must not be reused afterwards.
+     */
+    Kernel build(std::string name);
+
+  private:
+    void push(KOp op);
+
+    Kernel k_;
+    int loopReg_;
+    bool built_ = false;
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_WORKLOAD_KERNEL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic models of the ten SPEC FP95 benchmarks the paper traces.
+ *
+ * Each model is a kernel whose instruction mix, footprint and dependence
+ * structure reproduce the benchmark's first-order behaviour as reported
+ * in the paper (Figure 1) and in the SPEC FP95 literature:
+ *
+ *  - tomcatv/swim:  streaming stencils; high L1 miss ratio, near-perfect
+ *                   decoupling (address computation independent of FP).
+ *  - mgrid/applu:   mixed-stride 3-D sweeps; moderate misses, good
+ *                   decoupling.
+ *  - apsi:          moderate streams and FP chains.
+ *  - su2cor:        gather — integer index loads feed FP-load addresses;
+ *                   significant miss ratio (largest int-load stalls).
+ *  - wave5:         gather/scatter plus FP-conditional branches.
+ *  - hydro2d:       column-major (line-sized stride) sweeps; the highest
+ *                   miss ratio; bandwidth-bound at high L2 latency.
+ *  - turb3d:        cache-resident blocks; tiny miss ratio but immediately
+ *                   used integer loads (high perceived int latency).
+ *  - fpppp:         huge cache-resident FP blocks, just-in-time scalar
+ *                   addressing and FP branches: the worst decoupling.
+ */
+
+#ifndef MTDAE_WORKLOAD_SPEC_FP95_HH
+#define MTDAE_WORKLOAD_SPEC_FP95_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/kernel.hh"
+#include "workload/trace_source.hh"
+
+namespace mtdae {
+
+/** Names of the ten modelled benchmarks, in the paper's Figure 1 order. */
+const std::vector<std::string> &specFp95Names();
+
+/** Build the kernel model for @p name; fatal() on an unknown name. */
+Kernel buildSpecFp95(const std::string &name);
+
+/**
+ * A single-benchmark trace source for one hardware context.
+ * Memory regions are disjoint per (thread, benchmark) but share L1
+ * frames across threads, so multithreaded cache contention emerges.
+ *
+ * @param name   benchmark name
+ * @param thread hardware context the trace will run on
+ * @param seed   base RNG seed
+ */
+std::unique_ptr<KernelTraceSource>
+makeSpecFp95Source(const std::string &name, ThreadId thread,
+                   std::uint64_t seed);
+
+/**
+ * The paper's Section 3 workload: a rotation of all ten benchmarks,
+ * starting at a thread-specific position so every thread runs the full
+ * suite "in a different order".
+ *
+ * @param thread        hardware context
+ * @param seed          base RNG seed
+ * @param segment_insts instructions per benchmark visit
+ */
+std::unique_ptr<SequenceTraceSource>
+makeSuiteMixSource(ThreadId thread, std::uint64_t seed,
+                   std::uint64_t segment_insts = 30000);
+
+} // namespace mtdae
+
+#endif // MTDAE_WORKLOAD_SPEC_FP95_HH

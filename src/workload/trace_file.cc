@@ -1,0 +1,155 @@
+#include "workload/trace_file.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d544145;  // "MTAE"
+constexpr std::uint32_t kVersion = 1;
+
+/** On-disk instruction record (packed, little-endian host assumed). */
+struct Record
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint8_t op;
+    std::uint8_t dstCls, dstIdx;
+    std::array<std::uint8_t, 3> srcCls;
+    std::array<std::uint8_t, 3> srcIdx;
+    std::uint8_t taken;
+    std::uint8_t pad[2];
+};
+static_assert(sizeof(Record) == 32, "trace record layout changed");
+
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t insts;
+};
+static_assert(sizeof(Header) == 16, "trace header layout changed");
+
+Record
+pack(const TraceInst &ti)
+{
+    Record r{};
+    r.pc = ti.pc;
+    r.addr = ti.addr;
+    r.op = std::uint8_t(ti.op);
+    r.dstCls = std::uint8_t(ti.dst.cls);
+    r.dstIdx = ti.dst.idx;
+    for (int i = 0; i < 3; ++i) {
+        r.srcCls[i] = std::uint8_t(ti.src[i].cls);
+        r.srcIdx[i] = ti.src[i].idx;
+    }
+    r.taken = ti.taken ? 1 : 0;
+    return r;
+}
+
+TraceInst
+unpack(const Record &r)
+{
+    TraceInst ti;
+    ti.pc = r.pc;
+    ti.addr = r.addr;
+    ti.op = Opcode(r.op);
+    ti.dst = RegRef{RegClass(r.dstCls), r.dstIdx};
+    for (int i = 0; i < 3; ++i)
+        ti.src[i] = RegRef{RegClass(r.srcCls[i]), r.srcIdx[i]};
+    ti.taken = r.taken != 0;
+    return ti;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        MTDAE_FATAL("cannot create trace file ", path);
+    const Header h{kMagic, kVersion, 0};
+    if (std::fwrite(&h, sizeof(h), 1, file_) != 1)
+        MTDAE_FATAL("cannot write trace header to ", path);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceInst &ti)
+{
+    MTDAE_ASSERT(file_, "append to a closed trace writer");
+    const Record r = pack(ti);
+    if (std::fwrite(&r, sizeof(r), 1, file_) != 1)
+        MTDAE_FATAL("short write while recording a trace");
+    count_ += 1;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    // Patch the instruction count into the header.
+    const Header h{kMagic, kVersion, count_};
+    std::fseek(file_, 0, SEEK_SET);
+    if (std::fwrite(&h, sizeof(h), 1, file_) != 1)
+        warn("could not finalise trace header");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+std::uint64_t
+TraceWriter::record(TraceSource &src, const std::string &path,
+                    std::uint64_t max_insts)
+{
+    TraceWriter w(path);
+    TraceInst ti;
+    while (w.written() < max_insts && src.next(ti))
+        w.append(ti);
+    const std::uint64_t n = w.written();
+    w.close();
+    return n;
+}
+
+TraceFileSource::TraceFileSource(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb")),
+      name_(path)
+{
+    if (!file_)
+        MTDAE_FATAL("cannot open trace file ", path);
+    Header h{};
+    if (std::fread(&h, sizeof(h), 1, file_) != 1 || h.magic != kMagic)
+        MTDAE_FATAL(path, " is not an mtdae trace file");
+    if (h.version != kVersion)
+        MTDAE_FATAL(path, " has unsupported trace version ", h.version);
+    total_ = h.insts;
+}
+
+TraceFileSource::~TraceFileSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceFileSource::next(TraceInst &out)
+{
+    if (read_ >= total_)
+        return false;
+    Record r{};
+    if (std::fread(&r, sizeof(r), 1, file_) != 1)
+        MTDAE_FATAL("trace file ", name_, " truncated at record ", read_);
+    out = unpack(r);
+    read_ += 1;
+    return true;
+}
+
+} // namespace mtdae

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the 2-bit branch history table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/bht.hh"
+
+using namespace mtdae;
+
+TEST(Bht, InitiallyWeaklyTaken)
+{
+    const Bht bht(64);
+    EXPECT_TRUE(bht.predict(0x100));
+}
+
+TEST(Bht, LearnsAlwaysTaken)
+{
+    Bht bht(64);
+    for (int i = 0; i < 4; ++i)
+        bht.update(0x40, true);
+    EXPECT_TRUE(bht.predict(0x40));
+    // Saturated at strongly-taken: one not-taken does not flip it.
+    bht.update(0x40, false);
+    EXPECT_TRUE(bht.predict(0x40));
+    bht.update(0x40, false);
+    EXPECT_FALSE(bht.predict(0x40));
+}
+
+TEST(Bht, LearnsAlwaysNotTaken)
+{
+    Bht bht(64);
+    for (int i = 0; i < 4; ++i)
+        bht.update(0x40, false);
+    EXPECT_FALSE(bht.predict(0x40));
+}
+
+TEST(Bht, HysteresisOnLoopExit)
+{
+    // Classic 2-bit behaviour: a loop back-edge mispredicts once per
+    // exit, then immediately predicts taken again.
+    Bht bht(64);
+    for (int i = 0; i < 10; ++i)
+        bht.update(0x80, true);
+    EXPECT_FALSE(bht.update(0x80, false));  // the exit mispredicts
+    EXPECT_TRUE(bht.predict(0x80));         // still predicts taken
+    EXPECT_TRUE(bht.update(0x80, true));    // next iteration correct
+}
+
+TEST(Bht, DistinctPcsAreIndependent)
+{
+    Bht bht(64);
+    for (int i = 0; i < 4; ++i) {
+        bht.update(0x100, true);
+        bht.update(0x104, false);
+    }
+    EXPECT_TRUE(bht.predict(0x100));
+    EXPECT_FALSE(bht.predict(0x104));
+}
+
+TEST(Bht, AliasingWrapsAtTableSize)
+{
+    Bht bht(16);  // 16 entries, word-indexed: pc and pc + 16*4 alias
+    for (int i = 0; i < 4; ++i)
+        bht.update(0x0, false);
+    EXPECT_FALSE(bht.predict(0x0 + 16 * 4));
+}
+
+TEST(Bht, MispredictRateTracksOutcomes)
+{
+    Bht bht(64);
+    // Warm to strongly taken, then feed 50/50 alternation.
+    for (int i = 0; i < 4; ++i)
+        bht.update(0x20, true);
+    bht.resetStats();
+    int wrong = 0;
+    bool dir = false;
+    for (int i = 0; i < 100; ++i, dir = !dir)
+        wrong += !bht.update(0x20, dir);
+    EXPECT_EQ(bht.resolved(), 100u);
+    EXPECT_NEAR(bht.mispredictRate(), double(wrong) / 100.0, 1e-12);
+    EXPECT_GT(bht.mispredictRate(), 0.3);
+}
+
+TEST(Bht, ResetStatsKeepsCounters)
+{
+    Bht bht(64);
+    for (int i = 0; i < 4; ++i)
+        bht.update(0x20, false);
+    bht.resetStats();
+    EXPECT_EQ(bht.resolved(), 0u);
+    // Table contents survive the reset.
+    EXPECT_FALSE(bht.predict(0x20));
+}
+
+class BhtSizeTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BhtSizeTest, PowerOfTwoSizesWork)
+{
+    Bht bht(GetParam());
+    bht.update(0x1234, true);
+    bht.update(0x1234, true);
+    EXPECT_TRUE(bht.predict(0x1234));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BhtSizeTest,
+                         ::testing::Values(1, 2, 64, 2048, 65536));
+
+TEST(BhtDeath, RejectsNonPowerOfTwo)
+{
+    EXPECT_DEATH(Bht(100), "power of two");
+}

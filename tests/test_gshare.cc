@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the gshare predictor and the predictor factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+
+using namespace mtdae;
+
+TEST(Gshare, LearnsStableDirections)
+{
+    Gshare g(1024, 8);
+    for (int i = 0; i < 64; ++i)
+        g.update(0x100, true);
+    EXPECT_TRUE(g.predict(0x100));
+}
+
+TEST(Gshare, LearnsAlternationThroughHistory)
+{
+    // A strictly alternating branch is mispredicted ~50% by a bimodal
+    // table but learned by gshare once each history pattern maps to its
+    // own counter.
+    Gshare g(4096, 8);
+    bool dir = false;
+    for (int i = 0; i < 2000; ++i, dir = !dir)
+        g.update(0x200, dir);
+    g.resetStats();
+    int wrong = 0;
+    for (int i = 0; i < 400; ++i, dir = !dir)
+        wrong += !g.update(0x200, dir);
+    EXPECT_LT(wrong, 40);  // < 10% after training
+
+    Bht bimodal(4096);
+    for (int i = 0; i < 2000; ++i, dir = !dir)
+        bimodal.update(0x200, dir);
+    bimodal.resetStats();
+    int bimodal_wrong = 0;
+    for (int i = 0; i < 400; ++i, dir = !dir)
+        bimodal_wrong += !bimodal.update(0x200, dir);
+    EXPECT_GT(bimodal_wrong, 100);  // bimodal cannot learn it
+}
+
+TEST(Gshare, TracksMispredictRate)
+{
+    Gshare g(1024, 4);
+    for (int i = 0; i < 100; ++i)
+        g.update(0x300, true);
+    EXPECT_EQ(g.resolved(), 100u);
+    EXPECT_LT(g.mispredictRate(), 0.1);
+}
+
+TEST(GshareDeath, RejectsBadGeometry)
+{
+    EXPECT_DEATH(Gshare(100, 8), "power of two");
+    EXPECT_DEATH(Gshare(1024, 0), "history");
+}
+
+TEST(PredictorFactory, BuildsTheConfiguredKind)
+{
+    SimConfig cfg;
+    cfg.predictor = SimConfig::PredictorKind::Bimodal;
+    auto p = makePredictor(cfg);
+    ASSERT_NE(dynamic_cast<BimodalPredictor *>(p.get()), nullptr);
+
+    cfg.predictor = SimConfig::PredictorKind::Gshare;
+    auto q = makePredictor(cfg);
+    ASSERT_NE(dynamic_cast<GsharePredictor *>(q.get()), nullptr);
+}
+
+TEST(PredictorFactory, PredictorsShareTheInterface)
+{
+    SimConfig cfg;
+    for (const auto kind : {SimConfig::PredictorKind::Bimodal,
+                            SimConfig::PredictorKind::Gshare}) {
+        cfg.predictor = kind;
+        auto p = makePredictor(cfg);
+        for (int i = 0; i < 8; ++i)
+            p->update(0x40, true);
+        EXPECT_TRUE(p->predict(0x40));
+        p->resetStats();
+        EXPECT_DOUBLE_EQ(p->mispredictRate(), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode traits, the paper's steering
+ * rule, register references and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+#include "isa/opcode.hh"
+#include "isa/reg.hh"
+
+using namespace mtdae;
+
+TEST(Opcode, LoadStoreClassification)
+{
+    EXPECT_TRUE(isLoad(Opcode::LdI));
+    EXPECT_TRUE(isLoad(Opcode::LdF));
+    EXPECT_FALSE(isLoad(Opcode::StF));
+    EXPECT_TRUE(isStore(Opcode::StI));
+    EXPECT_TRUE(isStore(Opcode::StF));
+    EXPECT_FALSE(isStore(Opcode::LdI));
+    EXPECT_TRUE(isMem(Opcode::LdF));
+    EXPECT_TRUE(isMem(Opcode::StI));
+    EXPECT_FALSE(isMem(Opcode::FAdd));
+    EXPECT_FALSE(isMem(Opcode::Br));
+}
+
+TEST(Opcode, BranchClassification)
+{
+    EXPECT_TRUE(isBranch(Opcode::Br));
+    EXPECT_TRUE(isBranch(Opcode::BrF));
+    EXPECT_TRUE(isBranch(Opcode::Jmp));
+    EXPECT_TRUE(isCondBranch(Opcode::Br));
+    EXPECT_TRUE(isCondBranch(Opcode::BrF));
+    EXPECT_FALSE(isCondBranch(Opcode::Jmp));
+    EXPECT_FALSE(isBranch(Opcode::ICmp));
+}
+
+TEST(Opcode, SteeringRuleSendsAllMemoryToAp)
+{
+    // The paper: "memory instructions ... are all sent to the AP".
+    EXPECT_EQ(unitOf(Opcode::LdI), Unit::AP);
+    EXPECT_EQ(unitOf(Opcode::LdF), Unit::AP);
+    EXPECT_EQ(unitOf(Opcode::StI), Unit::AP);
+    EXPECT_EQ(unitOf(Opcode::StF), Unit::AP);
+}
+
+TEST(Opcode, SteeringRuleByDataType)
+{
+    // Integer -> AP, floating point -> EP.
+    EXPECT_EQ(unitOf(Opcode::IAdd), Unit::AP);
+    EXPECT_EQ(unitOf(Opcode::IMul), Unit::AP);
+    EXPECT_EQ(unitOf(Opcode::ICmp), Unit::AP);
+    EXPECT_EQ(unitOf(Opcode::FAdd), Unit::EP);
+    EXPECT_EQ(unitOf(Opcode::FDiv), Unit::EP);
+    EXPECT_EQ(unitOf(Opcode::FMA), Unit::EP);
+    EXPECT_EQ(unitOf(Opcode::FCmp), Unit::EP);
+}
+
+TEST(Opcode, ControlResolvesOnAp)
+{
+    EXPECT_EQ(unitOf(Opcode::Br), Unit::AP);
+    EXPECT_EQ(unitOf(Opcode::BrF), Unit::AP);
+    EXPECT_EQ(unitOf(Opcode::Jmp), Unit::AP);
+}
+
+TEST(Opcode, CrossMovesSteerByDestination)
+{
+    EXPECT_EQ(unitOf(Opcode::MovIF), Unit::EP);
+    EXPECT_EQ(unitOf(Opcode::MovFI), Unit::AP);
+}
+
+TEST(Opcode, EveryOpcodeHasAMnemonic)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        const char *m = mnemonic(static_cast<Opcode>(i));
+        ASSERT_NE(m, nullptr);
+        EXPECT_GT(std::string(m).size(), 0u);
+    }
+}
+
+TEST(RegRef, ValidityAndFactories)
+{
+    EXPECT_FALSE(RegRef::none().valid());
+    EXPECT_TRUE(RegRef::intReg(0).valid());
+    EXPECT_TRUE(RegRef::fpReg(31).valid());
+    EXPECT_EQ(RegRef::intReg(5).cls, RegClass::Int);
+    EXPECT_EQ(RegRef::fpReg(5).cls, RegClass::Fp);
+    EXPECT_EQ(RegRef::intReg(5), RegRef::intReg(5));
+    EXPECT_FALSE(RegRef::intReg(5) == RegRef::fpReg(5));
+    EXPECT_FALSE(RegRef::intReg(5) == RegRef::intReg(6));
+}
+
+TEST(TraceInst, NumSrcsCountsValidOnly)
+{
+    TraceInst ti;
+    EXPECT_EQ(ti.numSrcs(), 0);
+    ti.src[0] = RegRef::intReg(1);
+    EXPECT_EQ(ti.numSrcs(), 1);
+    ti.src[1] = RegRef::fpReg(2);
+    ti.src[2] = RegRef::fpReg(3);
+    EXPECT_EQ(ti.numSrcs(), 3);
+}
+
+TEST(TraceInst, DisasmMentionsOperands)
+{
+    TraceInst ti;
+    ti.op = Opcode::LdF;
+    ti.pc = 0x1000;
+    ti.dst = RegRef::fpReg(3);
+    ti.src[0] = RegRef::intReg(7);
+    ti.addr = 0xdead0;
+    const std::string d = ti.disasm();
+    EXPECT_NE(d.find("ldf"), std::string::npos);
+    EXPECT_NE(d.find("f3"), std::string::npos);
+    EXPECT_NE(d.find("r7"), std::string::npos);
+    EXPECT_NE(d.find("dead0"), std::string::npos);
+}
+
+TEST(TraceInst, DisasmShowsBranchOutcome)
+{
+    TraceInst ti;
+    ti.op = Opcode::Br;
+    ti.src[0] = RegRef::intReg(1);
+    ti.taken = true;
+    EXPECT_NE(ti.disasm().find("[taken]"), std::string::npos);
+    ti.taken = false;
+    EXPECT_NE(ti.disasm().find("[not-taken]"), std::string::npos);
+}
+
+TEST(TraceInst, UnitFollowsOpcode)
+{
+    TraceInst ti;
+    ti.op = Opcode::FMA;
+    EXPECT_EQ(ti.unit(), Unit::EP);
+    ti.op = Opcode::LdF;
+    EXPECT_EQ(ti.unit(), Unit::AP);
+}

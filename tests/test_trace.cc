@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for trace expansion: address stream patterns, branch
+ * outcomes, trip counts, hammock skips, determinism and the suite-mix
+ * interleaving.
+ */
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hh"
+#include "workload/spec_fp95.hh"
+#include "workload/trace_source.hh"
+
+using namespace mtdae;
+
+namespace {
+
+/** Drain up to @p n instructions from @p src. */
+std::vector<TraceInst>
+drain(TraceSource &src, std::size_t n)
+{
+    std::vector<TraceInst> out;
+    TraceInst ti;
+    while (out.size() < n && src.next(ti))
+        out.push_back(ti);
+    return out;
+}
+
+Kernel
+tinyKernel()
+{
+    KernelBuilder b;
+    auto s = b.strided(256, 8);
+    const int x = b.ldf(s);
+    b.fop(Opcode::FAdd, x, x);
+    b.advance(s);
+    return b.build("tiny");  // 5 ops with loop update + back-edge
+}
+
+} // namespace
+
+TEST(KernelTraceSource, FiniteTripCountTerminates)
+{
+    KernelTraceSource src(tinyKernel(), 0, 0x1000, 1, 3);
+    const auto insts = drain(src, 1000);
+    EXPECT_EQ(insts.size(), 5u * 3u);
+    EXPECT_EQ(src.emitted(), 15u);
+    TraceInst ti;
+    EXPECT_FALSE(src.next(ti));
+}
+
+TEST(KernelTraceSource, BackedgeTakenUntilLastIteration)
+{
+    KernelTraceSource src(tinyKernel(), 0, 0x1000, 1, 3);
+    const auto insts = drain(src, 1000);
+    // The back-edge is the last op of each iteration.
+    const TraceInst &first_be = insts[4];
+    const TraceInst &last_be = insts[14];
+    ASSERT_EQ(first_be.op, Opcode::Br);
+    EXPECT_TRUE(first_be.taken);
+    EXPECT_TRUE(insts[9].taken);
+    EXPECT_FALSE(last_be.taken);
+}
+
+TEST(KernelTraceSource, PcsAdvanceByFourAndWrap)
+{
+    KernelTraceSource src(tinyKernel(), 0, 0x1000, 1, 2);
+    const auto insts = drain(src, 1000);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(insts[i].pc, 0x1000u + 4 * i);
+        EXPECT_EQ(insts[5 + i].pc, 0x1000u + 4 * i);  // second iteration
+    }
+}
+
+TEST(KernelTraceSource, StridedAddressesAdvanceAndWrap)
+{
+    KernelTraceSource src(tinyKernel(), 0x100000, 0x1000, 1, 40);
+    const auto insts = drain(src, 1000);
+    std::vector<Addr> loads;
+    for (const auto &ti : insts)
+        if (ti.op == Opcode::LdF)
+            loads.push_back(ti.addr);
+    ASSERT_GE(loads.size(), 33u);
+    for (int i = 0; i < 31; ++i)
+        EXPECT_EQ(loads[i + 1], loads[i] + 8);
+    // Footprint 256 bytes = 32 elements: wraps back to the base.
+    EXPECT_EQ(loads[32], loads[0]);
+}
+
+TEST(KernelTraceSource, NegativeStrideWalksBackwards)
+{
+    KernelBuilder b;
+    auto s = b.strided(256, -8);
+    const int x = b.ldi(s);
+    b.iopInto(Opcode::IAdd, x, x);
+    KernelTraceSource src(b.build("neg"), 0x1000000, 0x1000, 1, 10);
+    const auto insts = drain(src, 1000);
+    std::vector<Addr> loads;
+    for (const auto &ti : insts)
+        if (ti.op == Opcode::LdI)
+            loads.push_back(ti.addr);
+    ASSERT_GE(loads.size(), 3u);
+    EXPECT_EQ(loads[1], loads[0] + 256 - 8);  // wraps below the base
+    EXPECT_EQ(loads[2], loads[1] - 8);
+}
+
+TEST(KernelTraceSource, GatherAddressesAlignedAndInRange)
+{
+    KernelBuilder b;
+    const int idx = b.intReg();
+    auto g = b.gather(4096, idx, 8);
+    const int v = b.ldf(g);
+    b.fop(Opcode::FMul, v, v);
+    b.iopInto(Opcode::IAdd, idx, idx);
+    KernelTraceSource src(b.build("g"), 0x200000, 0x1000, 99, 500);
+    const auto insts = drain(src, 5000);
+    Addr base = ~Addr(0);
+    for (const auto &ti : insts)
+        if (ti.op == Opcode::LdF)
+            base = std::min(base, ti.addr);
+    int seen = 0;
+    for (const auto &ti : insts) {
+        if (ti.op != Opcode::LdF)
+            continue;
+        ++seen;
+        EXPECT_EQ((ti.addr - base) % 8, 0u);
+        EXPECT_LT(ti.addr - base, 4096u);
+    }
+    EXPECT_GE(seen, 400);
+}
+
+TEST(KernelTraceSource, TakenHammockSkipsOps)
+{
+    KernelBuilder b;
+    const int c = b.intReg();
+    b.iopInto(Opcode::ICmp, c, c);
+    b.br(c, 1.0f, 2);  // always taken: always skips the two FP ops
+    const int x = b.fpReg();
+    b.fopInto(Opcode::FAdd, x, x, x);
+    b.fopInto(Opcode::FMul, x, x, x);
+    b.iopInto(Opcode::IAdd, c, c);
+    KernelTraceSource src(b.build("skip"), 0, 0x1000, 1, 5);
+    const auto insts = drain(src, 1000);
+    for (const auto &ti : insts) {
+        EXPECT_NE(ti.op, Opcode::FAdd);
+        EXPECT_NE(ti.op, Opcode::FMul);
+    }
+    // 4 non-skipped ops per iteration (icmp, br, iadd, loop) + back-edge.
+    EXPECT_EQ(insts.size(), 5u * 5u);
+}
+
+TEST(KernelTraceSource, NeverTakenHammockKeepsOps)
+{
+    KernelBuilder b;
+    const int c = b.intReg();
+    b.iopInto(Opcode::ICmp, c, c);
+    b.br(c, 0.0f, 1);
+    const int x = b.fpReg();
+    b.fopInto(Opcode::FAdd, x, x, x);
+    KernelTraceSource src(b.build("noskip"), 0, 0x1000, 1, 4);
+    const auto insts = drain(src, 1000);
+    int fadds = 0;
+    for (const auto &ti : insts)
+        fadds += ti.op == Opcode::FAdd;
+    EXPECT_EQ(fadds, 4);
+}
+
+TEST(KernelTraceSource, DeterministicForSameSeed)
+{
+    const Kernel k = buildSpecFp95("wave5");
+    KernelTraceSource a(k, 0x4000000, 0x1000, 5, 1u << 20);
+    KernelTraceSource b(k, 0x4000000, 0x1000, 5, 1u << 20);
+    const auto ia = drain(a, 2000);
+    const auto ib = drain(b, 2000);
+    ASSERT_EQ(ia.size(), ib.size());
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+        EXPECT_EQ(ia[i].op, ib[i].op);
+        EXPECT_EQ(ia[i].addr, ib[i].addr);
+        EXPECT_EQ(ia[i].taken, ib[i].taken);
+    }
+}
+
+TEST(KernelTraceSource, DifferentSeedsChangeGathers)
+{
+    const Kernel k = buildSpecFp95("su2cor");
+    KernelTraceSource a(k, 0x4000000, 0x1000, 5, 1u << 20);
+    KernelTraceSource b(k, 0x4000000, 0x1000, 6, 1u << 20);
+    const auto ia = drain(a, 3000);
+    const auto ib = drain(b, 3000);
+    int diff = 0;
+    for (std::size_t i = 0; i < ia.size(); ++i)
+        diff += ia[i].addr != ib[i].addr;
+    EXPECT_GT(diff, 0);
+}
+
+TEST(SequenceTraceSource, RotatesThroughBenchmarksBySegments)
+{
+    auto mix = makeSuiteMixSource(0, 1, 100);
+    std::map<std::string, int> seen;
+    TraceInst ti;
+    for (int i = 0; i < 100 * 10 * 2; ++i) {
+        ASSERT_TRUE(mix->next(ti));
+        seen[mix->currentBenchmark()] += 1;
+    }
+    // Two full rotations: every benchmark appears.
+    EXPECT_EQ(seen.size(), specFp95Names().size());
+}
+
+TEST(SequenceTraceSource, ThreadsStartAtDifferentBenchmarks)
+{
+    auto t0 = makeSuiteMixSource(0, 1);
+    auto t1 = makeSuiteMixSource(1, 1);
+    TraceInst ti;
+    ASSERT_TRUE(t0->next(ti));
+    ASSERT_TRUE(t1->next(ti));
+    EXPECT_EQ(t0->currentBenchmark(), "tomcatv");
+    EXPECT_EQ(t1->currentBenchmark(), "swim");
+}
+
+TEST(SequenceTraceSource, DisjointRegionsPerThreadAndBenchmark)
+{
+    // Thread/benchmark regions must not overlap, or "independent
+    // threads" would false-share data.
+    auto s0 = makeSpecFp95Source("tomcatv", 0, 1);
+    auto s1 = makeSpecFp95Source("tomcatv", 1, 1);
+    auto s2 = makeSpecFp95Source("swim", 0, 1);
+    Addr min0 = ~Addr(0), max0 = 0, min1 = ~Addr(0), max1 = 0;
+    Addr min2 = ~Addr(0), max2 = 0;
+    TraceInst ti;
+    for (int i = 0; i < 5000; ++i) {
+        if (s0->next(ti) && isMem(ti.op)) {
+            min0 = std::min(min0, ti.addr);
+            max0 = std::max(max0, ti.addr);
+        }
+        if (s1->next(ti) && isMem(ti.op)) {
+            min1 = std::min(min1, ti.addr);
+            max1 = std::max(max1, ti.addr);
+        }
+        if (s2->next(ti) && isMem(ti.op)) {
+            min2 = std::min(min2, ti.addr);
+            max2 = std::max(max2, ti.addr);
+        }
+    }
+    EXPECT_TRUE(max0 < min1 || max1 < min0);
+    EXPECT_TRUE(max0 < min2 || max2 < min0);
+}
+
+TEST(SequenceTraceSource, ExhaustsWhenAllSourcesEnd)
+{
+    std::vector<std::unique_ptr<KernelTraceSource>> sources;
+    sources.push_back(std::make_unique<KernelTraceSource>(
+        tinyKernel(), 0, 0x1000, 1, 2));
+    sources.push_back(std::make_unique<KernelTraceSource>(
+        tinyKernel(), 1 << 20, 0x2000, 2, 3));
+    SequenceTraceSource mix(std::move(sources), 7);
+    const auto insts = drain(mix, 10000);
+    EXPECT_EQ(insts.size(), 5u * 2 + 5u * 3);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests of trace recording and playback: round-trip fidelity, header
+ * handling, error paths, and simulation equivalence (a replayed trace
+ * must time identically to the live generator).
+ */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hh"
+#include "workload/spec_fp95.hh"
+#include "workload/trace_file.hh"
+
+using namespace mtdae;
+using namespace mtdae::test;
+
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+} // namespace
+
+TEST(TraceFile, RoundTripPreservesEveryField)
+{
+    const std::string path = tempPath("roundtrip.mtae");
+    auto src = makeSpecFp95Source("wave5", 0, 1);
+    std::vector<TraceInst> original;
+    {
+        TraceWriter w(path);
+        TraceInst ti;
+        for (int i = 0; i < 5000; ++i) {
+            ASSERT_TRUE(src->next(ti));
+            original.push_back(ti);
+            w.append(ti);
+        }
+    }
+
+    TraceFileSource replay(path);
+    EXPECT_EQ(replay.totalInsts(), 5000u);
+    TraceInst ti;
+    for (const TraceInst &want : original) {
+        ASSERT_TRUE(replay.next(ti));
+        EXPECT_EQ(ti.op, want.op);
+        EXPECT_EQ(ti.pc, want.pc);
+        EXPECT_EQ(ti.addr, want.addr);
+        EXPECT_EQ(ti.taken, want.taken);
+        EXPECT_TRUE(ti.dst == want.dst);
+        for (int i = 0; i < 3; ++i)
+            EXPECT_TRUE(ti.src[i] == want.src[i]);
+    }
+    EXPECT_FALSE(replay.next(ti));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RecordHelperCapsLength)
+{
+    const std::string path = tempPath("capped.mtae");
+    auto src = makeSpecFp95Source("tomcatv", 0, 1);
+    EXPECT_EQ(TraceWriter::record(*src, path, 1234), 1234u);
+    TraceFileSource replay(path);
+    EXPECT_EQ(replay.totalInsts(), 1234u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayedTraceSimulatesIdentically)
+{
+    // Timing must not depend on whether the trace comes from the live
+    // generator or from a file.
+    const std::string path = tempPath("equiv.mtae");
+    {
+        auto src = makeSpecFp95Source("su2cor", 0, 1);
+        TraceWriter::record(*src, path, 60000);
+    }
+
+    SimConfig cfg;
+    cfg.warmupInsts = 5000;
+
+    std::vector<std::unique_ptr<TraceSource>> live;
+    live.push_back(makeSpecFp95Source("su2cor", 0, 1));
+    Simulator sim_live(cfg, std::move(live));
+    const RunResult a = sim_live.run(40000);
+
+    std::vector<std::unique_ptr<TraceSource>> replay;
+    replay.push_back(std::make_unique<TraceFileSource>(path));
+    Simulator sim_replay(cfg, std::move(replay));
+    const RunResult b = sim_replay.run(40000);
+
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_DOUBLE_EQ(a.perceivedInt, b.perceivedInt);
+    EXPECT_DOUBLE_EQ(a.loadMissRatio, b.loadMissRatio);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ TraceFileSource bad("/nonexistent/dir/x.mtae"); },
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFile, GarbageFileIsFatal)
+{
+    const std::string path = tempPath("garbage.mtae");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("this is not a trace file at all............", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT({ TraceFileSource bad(path); },
+                ::testing::ExitedWithCode(1), "not an mtdae trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTraceReplaysAsEmpty)
+{
+    const std::string path = tempPath("empty.mtae");
+    {
+        TraceWriter w(path);
+    }
+    TraceFileSource replay(path);
+    EXPECT_EQ(replay.totalInsts(), 0u);
+    TraceInst ti;
+    EXPECT_FALSE(replay.next(ti));
+    std::remove(path.c_str());
+}
