@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build everything, run the test suite.
+# Usage: scripts/verify.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"

@@ -1,0 +1,898 @@
+#include "harness/cli.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "common/log.hh"
+#include "common/table.hh"
+#include "core/slot_stats.hh"
+#include "harness/experiment.hh"
+#include "workload/spec_fp95.hh"
+
+namespace mtdae::cli {
+
+namespace {
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    // strtoull accepts leading whitespace and '-' (wrapping negatives
+    // to huge values); only bare digit strings are valid here.
+    if (s.empty() || s[0] < '0' || s[0] > '9')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseU32(const std::string &s, std::uint32_t &out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, v) || v > 0xffffffffull)
+        return false;
+    out = std::uint32_t(v);
+    return true;
+}
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    if (s == "1" || s == "true" || s == "yes" || s == "on") {
+        out = true;
+        return true;
+    }
+    if (s == "0" || s == "false" || s == "no" || s == "off") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::istringstream is(s);
+    std::string part;
+    while (std::getline(is, part, ','))
+        if (!part.empty())
+            parts.push_back(part);
+    return parts;
+}
+
+bool
+parseU32List(const std::string &s, std::vector<std::uint32_t> &out,
+             std::string &error)
+{
+    out.clear();
+    for (const auto &part : splitCommas(s)) {
+        std::uint32_t v = 0;
+        if (!parseU32(part, v)) {
+            error = "bad number '" + part + "' in list '" + s + "'";
+            return false;
+        }
+        out.push_back(v);
+    }
+    if (out.empty()) {
+        error = "empty list '" + s + "'";
+        return false;
+    }
+    return true;
+}
+
+/** One SimConfig override knob: apply a string value to a config. */
+struct Knob
+{
+    std::function<bool(SimConfig &, const std::string &)> set;
+};
+
+const std::map<std::string, Knob> &
+knobs()
+{
+    auto u32 = [](std::uint32_t SimConfig::*field) {
+        return Knob{[field](SimConfig &c, const std::string &v) {
+            return parseU32(v, c.*field);
+        }};
+    };
+    auto u64 = [](std::uint64_t SimConfig::*field) {
+        return Knob{[field](SimConfig &c, const std::string &v) {
+            return parseU64(v, c.*field);
+        }};
+    };
+    static const std::map<std::string, Knob> k = {
+        {"threads", u32(&SimConfig::numThreads)},
+        {"decoupled", Knob{[](SimConfig &c, const std::string &v) {
+             return parseBool(v, c.decoupled);
+         }}},
+        {"ap-units", u32(&SimConfig::apUnits)},
+        {"ep-units", u32(&SimConfig::epUnits)},
+        {"ap-latency", u32(&SimConfig::apLatency)},
+        {"ep-latency", u32(&SimConfig::epLatency)},
+        {"fetch-threads", u32(&SimConfig::fetchThreadsPerCycle)},
+        {"fetch-width", u32(&SimConfig::fetchWidth)},
+        {"fetch-buffer", u32(&SimConfig::fetchBufferSize)},
+        {"dispatch-width", u32(&SimConfig::dispatchWidth)},
+        {"max-branches", u32(&SimConfig::maxUnresolvedBranches)},
+        {"redirect-penalty", u32(&SimConfig::redirectPenalty)},
+        {"bht-entries", u32(&SimConfig::bhtEntries)},
+        {"predictor", Knob{[](SimConfig &c, const std::string &v) {
+             if (v == "bimodal")
+                 c.predictor = SimConfig::PredictorKind::Bimodal;
+             else if (v == "gshare")
+                 c.predictor = SimConfig::PredictorKind::Gshare;
+             else
+                 return false;
+             return true;
+         }}},
+        {"gshare-bits", u32(&SimConfig::gshareHistoryBits)},
+        {"iq-entries", u32(&SimConfig::iqEntries)},
+        {"apq-entries", u32(&SimConfig::apQueueEntries)},
+        {"saq-entries", u32(&SimConfig::saqEntries)},
+        {"rob-entries", u32(&SimConfig::robEntries)},
+        {"ap-regs", u32(&SimConfig::apPhysRegs)},
+        {"ep-regs", u32(&SimConfig::epPhysRegs)},
+        {"graduate-width", u32(&SimConfig::graduateWidth)},
+        {"l1-bytes", u32(&SimConfig::l1Bytes)},
+        {"l1-line", u32(&SimConfig::l1LineBytes)},
+        {"l1-ports", u32(&SimConfig::l1Ports)},
+        {"mshrs", u32(&SimConfig::mshrs)},
+        {"l1-hit-latency", u32(&SimConfig::l1HitLatency)},
+        {"l2-latency", u32(&SimConfig::l2Latency)},
+        {"bus-bytes", u32(&SimConfig::busBytesPerCycle)},
+        {"seed", u64(&SimConfig::seed)},
+        {"warmup", u64(&SimConfig::warmupInsts)},
+    };
+    return k;
+}
+
+std::string
+fmt(double v, int precision = 4)
+{
+    return TextTable::fmt(v, precision);
+}
+
+/** opts.insts when given, else the experiment's instsBudget default. */
+std::uint64_t
+budget(const Options &opts, std::uint64_t fallback)
+{
+    return opts.insts > 0 ? opts.insts : instsBudget(fallback);
+}
+
+/** The paper machine with the CLI's scaling choice and overrides. */
+SimConfig
+makeCfg(const Options &opts, std::uint32_t threads, bool decoupled,
+        std::uint32_t l2_latency)
+{
+    SimConfig cfg = paperConfig(threads, decoupled, l2_latency,
+                                opts.scaleQueues);
+    std::string error;
+    if (!applyOverrides(cfg, opts, error))
+        MTDAE_FATAL("bad override: ", error);
+    return cfg;
+}
+
+void
+progress(const Options &opts, std::ostream &err, const std::string &what)
+{
+    if (!opts.quiet)
+        err << "  running " << what << "\n";
+}
+
+std::vector<std::uint32_t>
+sweepOr(const std::vector<std::uint32_t> &user,
+        std::vector<std::uint32_t> fallback)
+{
+    return user.empty() ? fallback : user;
+}
+
+// --- Experiment implementations ---------------------------------------
+
+ResultSet
+expRun(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "run";
+    rs.header = {"benchmark", "threads",     "decoupled", "l2_latency",
+                 "cycles",    "insts",       "ipc",       "perceived_fp",
+                 "perceived_int", "perceived_all", "load_miss",
+                 "store_miss", "delayed_hit", "bus_util",  "mispredict",
+                 "ap_useful", "ep_useful"};
+    const std::uint64_t insts = budget(opts, 300000);
+    std::vector<std::string> benches = opts.benchmarks;
+    if (benches.empty())
+        benches = {"suite-mix"};
+    const auto threads = sweepOr(opts.threads, {1});
+    const auto lats = sweepOr(opts.latencies, {16});
+    for (const auto &bench : benches) {
+        for (const std::uint32_t n : threads) {
+            for (const std::uint32_t lat : lats) {
+                progress(opts, err,
+                         bench + " " + std::to_string(n) + "T L2=" +
+                             std::to_string(lat));
+                const SimConfig cfg = makeCfg(opts, n, true, lat);
+                const RunResult r =
+                    bench == "suite-mix"
+                        ? runSuiteMix(cfg, insts * n)
+                        : runBenchmark(cfg, bench, insts * n);
+                rs.rows.push_back(
+                    {bench, std::to_string(cfg.numThreads),
+                     cfg.decoupled ? "1" : "0",
+                     std::to_string(cfg.l2Latency),
+                     std::to_string(r.cycles), std::to_string(r.insts),
+                     fmt(r.ipc), fmt(r.perceivedFp), fmt(r.perceivedInt),
+                     fmt(r.perceivedAll), fmt(r.loadMissRatio),
+                     fmt(r.storeMissRatio), fmt(r.mergedRatio),
+                     fmt(r.busUtilization), fmt(r.mispredictRate),
+                     fmt(r.ap.fraction(SlotUse::Useful)),
+                     fmt(r.ep.fraction(SlotUse::Useful))});
+            }
+        }
+    }
+    return rs;
+}
+
+ResultSet
+expFig1(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "fig1";
+    rs.header = {"benchmark",   "l2_latency", "ipc",
+                 "ipc_loss_pct", "perceived_fp", "perceived_int",
+                 "load_miss",   "store_miss", "delayed_hit"};
+    const std::uint64_t insts = budget(opts, 250000);
+    const auto benches =
+        opts.benchmarks.empty() ? specFp95Names() : opts.benchmarks;
+    const auto lats = sweepOr(opts.latencies, paperLatencies());
+    for (const auto &bench : benches) {
+        double base_ipc = 0.0;
+        for (const std::uint32_t lat : lats) {
+            progress(opts, err, bench + " L2=" + std::to_string(lat));
+            const SimConfig cfg = makeCfg(opts, 1, true, lat);
+            const RunResult r = runBenchmark(cfg, bench, insts);
+            if (base_ipc == 0.0)
+                base_ipc = r.ipc;
+            const double loss =
+                base_ipc > 0 ? 100.0 * (1.0 - r.ipc / base_ipc) : 0.0;
+            rs.rows.push_back({bench, std::to_string(lat), fmt(r.ipc),
+                               fmt(loss, 2), fmt(r.perceivedFp, 2),
+                               fmt(r.perceivedInt, 2),
+                               fmt(r.loadMissRatio),
+                               fmt(r.storeMissRatio),
+                               fmt(r.mergedRatio)});
+        }
+    }
+    return rs;
+}
+
+ResultSet
+expFig3(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "fig3";
+    rs.header = {"threads", "ipc",  "unit", "useful", "wait_mem",
+                 "wait_fu", "idle", "other"};
+    const std::uint64_t insts = budget(opts, 300000);
+    const auto threads = sweepOr(opts.threads, {1, 2, 3, 4, 5, 6});
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 16 : opts.latencies.front();
+    for (const std::uint32_t n : threads) {
+        progress(opts, err, std::to_string(n) + "T suite mix");
+        const SimConfig cfg = makeCfg(opts, n, true, lat);
+        const RunResult r = runSuiteMix(cfg, insts * n);
+        for (const bool is_ap : {true, false}) {
+            const SlotBreakdown &bd = is_ap ? r.ap : r.ep;
+            rs.rows.push_back({std::to_string(n), fmt(r.ipc),
+                               is_ap ? "AP" : "EP",
+                               fmt(bd.fraction(SlotUse::Useful)),
+                               fmt(bd.fraction(SlotUse::WaitMem)),
+                               fmt(bd.fraction(SlotUse::WaitFu)),
+                               fmt(bd.fraction(SlotUse::Idle)),
+                               fmt(bd.fraction(SlotUse::Other))});
+        }
+    }
+    return rs;
+}
+
+ResultSet
+expFig4(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "fig4";
+    rs.header = {"threads",       "decoupled", "l2_latency",
+                 "ipc",           "ipc_loss_pct", "perceived_all"};
+    const std::uint64_t insts = budget(opts, 300000);
+    const auto threads = sweepOr(opts.threads, {1, 2, 3, 4});
+    const auto lats = sweepOr(opts.latencies, paperLatencies());
+    for (const std::uint32_t n : threads) {
+        for (const bool dec : {true, false}) {
+            double base_ipc = 0.0;
+            for (const std::uint32_t lat : lats) {
+                progress(opts, err,
+                         std::to_string(n) + "T " +
+                             (dec ? "decoupled" : "non-decoupled") +
+                             " L2=" + std::to_string(lat));
+                const SimConfig cfg = makeCfg(opts, n, dec, lat);
+                const RunResult r = runSuiteMix(cfg, insts * n);
+                if (base_ipc == 0.0)
+                    base_ipc = r.ipc;
+                const double loss =
+                    base_ipc > 0 ? 100.0 * (1.0 - r.ipc / base_ipc)
+                                 : 0.0;
+                rs.rows.push_back({std::to_string(n), dec ? "1" : "0",
+                                   std::to_string(lat), fmt(r.ipc),
+                                   fmt(loss, 2), fmt(r.perceivedAll, 2)});
+            }
+        }
+    }
+    return rs;
+}
+
+ResultSet
+expFig5(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "fig5";
+    rs.header = {"l2_latency", "threads", "decoupled", "ipc",
+                 "bus_util"};
+    const std::uint64_t insts = budget(opts, 200000);
+    // Default: the paper's two sweeps — L2=16 to 7T, L2=64 to 16T.
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>>
+        sweeps;
+    if (opts.latencies.empty() && opts.threads.empty()) {
+        sweeps.push_back({16, {1, 2, 3, 4, 5, 6, 7}});
+        sweeps.push_back(
+            {64, {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16}});
+    } else {
+        const auto lats = sweepOr(opts.latencies, {16, 64});
+        const auto threads =
+            sweepOr(opts.threads, {1, 2, 3, 4, 5, 6, 7, 8});
+        for (const std::uint32_t lat : lats)
+            sweeps.push_back({lat, threads});
+    }
+    for (const auto &[lat, threads] : sweeps) {
+        for (const std::uint32_t n : threads) {
+            for (const bool dec : {true, false}) {
+                progress(opts, err,
+                         std::to_string(n) + "T " +
+                             (dec ? "decoupled" : "non-decoupled") +
+                             " L2=" + std::to_string(lat));
+                const SimConfig cfg = makeCfg(opts, n, dec, lat);
+                const RunResult r = runSuiteMix(cfg, insts * n);
+                rs.rows.push_back({std::to_string(lat),
+                                   std::to_string(n), dec ? "1" : "0",
+                                   fmt(r.ipc), fmt(r.busUtilization)});
+            }
+        }
+    }
+    return rs;
+}
+
+ResultSet
+expAblateWidth(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_width";
+    rs.header = {"ap_units", "ep_units", "ipc", "ap_useful",
+                 "ep_useful"};
+    const std::uint64_t insts = budget(opts, 200000);
+    const std::uint32_t n =
+        opts.threads.empty() ? 4 : opts.threads.front();
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 16 : opts.latencies.front();
+    for (const auto &[ap, ep] :
+         std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+             {2, 6}, {3, 5}, {4, 4}, {5, 3}, {6, 2}}) {
+        progress(opts, err,
+                 std::to_string(ap) + "+" + std::to_string(ep) +
+                     " units");
+        SimConfig cfg = makeCfg(opts, n, true, lat);
+        cfg.apUnits = ap;
+        cfg.epUnits = ep;
+        const RunResult r = runSuiteMix(cfg, insts * n);
+        rs.rows.push_back({std::to_string(ap), std::to_string(ep),
+                           fmt(r.ipc),
+                           fmt(r.ap.fraction(SlotUse::Useful)),
+                           fmt(r.ep.fraction(SlotUse::Useful))});
+    }
+    return rs;
+}
+
+ResultSet
+expAblatePredictor(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_predictor";
+    rs.header = {"predictor", "max_branches", "ipc", "mispredict",
+                 "ap_idle"};
+    const std::uint64_t insts = budget(opts, 200000);
+    const std::uint32_t n =
+        opts.threads.empty() ? 4 : opts.threads.front();
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 16 : opts.latencies.front();
+    for (const auto kind : {SimConfig::PredictorKind::Bimodal,
+                            SimConfig::PredictorKind::Gshare}) {
+        for (const std::uint32_t depth : {1u, 4u, 16u}) {
+            const char *name =
+                kind == SimConfig::PredictorKind::Bimodal ? "bimodal"
+                                                          : "gshare";
+            progress(opts, err,
+                     std::string(name) + " depth " +
+                         std::to_string(depth));
+            SimConfig cfg = makeCfg(opts, n, true, lat);
+            cfg.predictor = kind;
+            cfg.maxUnresolvedBranches = depth;
+            const RunResult r = runSuiteMix(cfg, insts * n);
+            rs.rows.push_back({name, std::to_string(depth), fmt(r.ipc),
+                               fmt(r.mispredictRate),
+                               fmt(r.ap.fraction(SlotUse::Idle))});
+        }
+    }
+    return rs;
+}
+
+ResultSet
+expAblateMshrs(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_mshrs";
+    rs.header = {"mshrs", "threads", "ipc", "bus_util"};
+    const std::uint64_t insts = budget(opts, 120000);
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 64 : opts.latencies.front();
+    const auto threads = sweepOr(opts.threads, {1, 4});
+    for (const std::uint32_t m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        for (const std::uint32_t n : threads) {
+            progress(opts, err,
+                     std::to_string(m) + " MSHRs " + std::to_string(n) +
+                         "T");
+            SimConfig cfg = makeCfg(opts, n, true, lat);
+            cfg.mshrs = m;
+            const RunResult r = runSuiteMix(cfg, insts * n);
+            rs.rows.push_back({std::to_string(m), std::to_string(n),
+                               fmt(r.ipc), fmt(r.busUtilization)});
+        }
+    }
+    return rs;
+}
+
+ResultSet
+expAblatePorts(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_ports";
+    rs.header = {"ports", "threads", "ipc"};
+    const std::uint64_t insts = budget(opts, 120000);
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 64 : opts.latencies.front();
+    const auto threads = sweepOr(opts.threads, {1, 4});
+    for (const std::uint32_t p : {1u, 2u, 4u, 8u}) {
+        for (const std::uint32_t n : threads) {
+            progress(opts, err,
+                     std::to_string(p) + " ports " + std::to_string(n) +
+                         "T");
+            SimConfig cfg = makeCfg(opts, n, true, lat);
+            cfg.l1Ports = p;
+            const RunResult r = runSuiteMix(cfg, insts * n);
+            rs.rows.push_back(
+                {std::to_string(p), std::to_string(n), fmt(r.ipc)});
+        }
+    }
+    return rs;
+}
+
+ResultSet
+expAblateIq(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_iq";
+    rs.header = {"iq_entries", "threads", "ipc", "perceived"};
+    const std::uint64_t insts = budget(opts, 120000);
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 64 : opts.latencies.front();
+    const auto threads = sweepOr(opts.threads, {1, 4});
+    for (const std::uint32_t depth :
+         {1u, 2u, 4u, 8u, 16u, 32u, 48u, 96u, 192u, 384u}) {
+        for (const std::uint32_t n : threads) {
+            progress(opts, err,
+                     "IQ " + std::to_string(depth) + " " +
+                         std::to_string(n) + "T");
+            SimConfig cfg = makeCfg(opts, n, true, lat);
+            cfg.iqEntries = depth;
+            const RunResult r = runSuiteMix(cfg, insts * n);
+            rs.rows.push_back({std::to_string(depth), std::to_string(n),
+                               fmt(r.ipc), fmt(r.perceivedAll)});
+        }
+    }
+    // iq_entries = 0 marks the non-decoupled reference machine.
+    for (const std::uint32_t n : threads) {
+        progress(opts, err, "non-decoupled " + std::to_string(n) + "T");
+        const SimConfig cfg = makeCfg(opts, n, false, lat);
+        const RunResult r = runSuiteMix(cfg, insts * n);
+        rs.rows.push_back({"0", std::to_string(n), fmt(r.ipc),
+                           fmt(r.perceivedAll)});
+    }
+    return rs;
+}
+
+using ExperimentFn = ResultSet (*)(const Options &, std::ostream &);
+
+struct Entry
+{
+    Experiment info;
+    ExperimentFn fn;
+};
+
+const std::vector<Entry> &
+registry()
+{
+    static const std::vector<Entry> entries = {
+        {{"run", "single configuration run (suite mix or --bench=...)"},
+         expRun},
+        {{"fig1", "latency hiding, 1T decoupled, per-benchmark L2 sweep"},
+         expFig1},
+        {{"fig3", "AP/EP issue-slot breakdown vs. hardware contexts"},
+         expFig3},
+        {{"fig4", "latency tolerance of 1-4T (non-)decoupled machines"},
+         expFig4},
+        {{"fig5", "IPC vs. contexts at L2=16/64 with bus utilisation"},
+         expFig5},
+        {{"ablate-width", "AP/EP issue-width split at total width 8"},
+         expAblateWidth},
+        {{"ablate-predictor",
+          "bimodal vs. gshare and speculation depth"},
+         expAblatePredictor},
+        {{"ablate-mshrs", "MSHR count sweep (lockup-free-ness)"},
+         expAblateMshrs},
+        {{"ablate-ports", "L1 data-cache port sweep"}, expAblatePorts},
+        {{"ablate-iq", "EP instruction-queue depth sweep"}, expAblateIq},
+    };
+    return entries;
+}
+
+/** mkdir -p: create every component of @p path; true when it exists. */
+bool
+makeDirs(const std::string &path)
+{
+    std::string partial;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i < path.size() && path[i] != '/') {
+            partial.push_back(path[i]);
+            continue;
+        }
+        if (!partial.empty() && partial != ".")
+            ::mkdir(partial.c_str(), 0755);
+        if (i < path.size())
+            partial.push_back('/');
+    }
+    struct ::stat st = {};
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    (void)std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+} // namespace
+
+bool
+applyOverride(SimConfig &cfg, const std::string &key,
+              const std::string &value, std::string &error)
+{
+    const auto it = knobs().find(key);
+    if (it == knobs().end()) {
+        error = "unknown config key '--" + key + "'";
+        return false;
+    }
+    if (!it->second.set(cfg, value)) {
+        error = "bad value '" + value + "' for --" + key;
+        return false;
+    }
+    return true;
+}
+
+bool
+applyOverrides(SimConfig &cfg, const Options &opts, std::string &error)
+{
+    for (const auto &[key, value] : opts.overrides)
+        if (!applyOverride(cfg, key, value, error))
+            return false;
+    return true;
+}
+
+const std::vector<std::string> &
+overrideKeys()
+{
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> k;
+        for (const auto &[key, knob] : knobs())
+            k.push_back(key);
+        return k;
+    }();
+    return keys;
+}
+
+bool
+parseArgs(const std::vector<std::string> &args, Options &opts,
+          std::string &error)
+{
+    SimConfig scratch;  // overrides are validated at parse time
+    for (const std::string &a : args) {
+        if (a == "--help" || a == "-h") {
+            opts.experiment = "help";
+            continue;
+        }
+        if (a.rfind("--", 0) != 0) {
+            if (opts.experiment.empty()) {
+                opts.experiment = a;
+                continue;
+            }
+            error = "unexpected argument '" + a + "'";
+            return false;
+        }
+        const std::string flag = a.substr(2);
+        const auto eq = flag.find('=');
+        const std::string key = flag.substr(0, eq);
+        const bool has_value = eq != std::string::npos;
+        const std::string value =
+            has_value ? flag.substr(eq + 1) : std::string();
+
+        if (key == "json" && !has_value) {
+            opts.format = Options::Format::Json;
+        } else if (key == "csv" && !has_value) {
+            opts.format = Options::Format::Csv;
+        } else if (key == "quiet" && !has_value) {
+            opts.quiet = true;
+        } else if (key == "no-scale" && !has_value) {
+            opts.scaleQueues = false;
+        } else if (key == "format") {
+            if (value == "csv")
+                opts.format = Options::Format::Csv;
+            else if (value == "json")
+                opts.format = Options::Format::Json;
+            else {
+                error = "bad --format '" + value + "' (csv or json)";
+                return false;
+            }
+        } else if (key == "out") {
+            if (value.empty()) {
+                error = "--out needs a directory";
+                return false;
+            }
+            opts.outDir = value;
+        } else if (key == "insts") {
+            if (!parseU64(value, opts.insts) || opts.insts == 0) {
+                error = "bad --insts '" + value + "'";
+                return false;
+            }
+        } else if (key == "bench") {
+            opts.benchmarks = splitCommas(value);
+            if (opts.benchmarks.empty()) {
+                error = "--bench needs a benchmark list";
+                return false;
+            }
+        } else if (key == "threads-list") {
+            if (!parseU32List(value, opts.threads, error))
+                return false;
+        } else if (key == "latencies") {
+            if (!parseU32List(value, opts.latencies, error))
+                return false;
+        } else if (has_value) {
+            if (!applyOverride(scratch, key, value, error))
+                return false;
+            opts.overrides.emplace_back(key, value);
+        } else {
+            error = "unknown flag '" + a + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+const std::vector<Experiment> &
+experiments()
+{
+    static const std::vector<Experiment> infos = [] {
+        std::vector<Experiment> v;
+        for (const auto &e : registry())
+            v.push_back(e.info);
+        return v;
+    }();
+    return infos;
+}
+
+bool
+isExperiment(const std::string &name)
+{
+    for (const auto &e : registry())
+        if (e.info.name == name)
+            return true;
+    return false;
+}
+
+ResultSet
+runExperiment(const Options &opts, std::ostream &err)
+{
+    for (const auto &e : registry())
+        if (e.info.name == opts.experiment)
+            return e.fn(opts, err);
+    MTDAE_FATAL("unknown experiment '", opts.experiment, "'");
+}
+
+void
+writeJson(const ResultSet &rs, std::ostream &os)
+{
+    os << "{\n  \"experiment\": \"" << jsonEscape(rs.name)
+       << "\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rs.rows.size(); ++i) {
+        os << "    {";
+        const auto &row = rs.rows[i];
+        for (std::size_t c = 0; c < rs.header.size() && c < row.size();
+             ++c) {
+            if (c)
+                os << ", ";
+            os << '"' << jsonEscape(rs.header[c]) << "\": ";
+            if (looksNumeric(row[c]))
+                os << row[c];
+            else
+                os << '"' << jsonEscape(row[c]) << '"';
+        }
+        os << (i + 1 < rs.rows.size() ? "},\n" : "}\n");
+    }
+    os << "  ]\n}\n";
+}
+
+void
+printHelp(std::ostream &os)
+{
+    os << "usage: mtdae <experiment> [options] [--<config-key>=<value>]\n"
+          "\n"
+          "experiments:\n";
+    for (const auto &e : experiments())
+        os << "  " << e.name << std::string(18 - e.name.size(), ' ')
+           << e.summary << "\n";
+    os << "  list              print this experiment list\n"
+          "  help              print this help\n"
+          "\n"
+          "options:\n"
+          "  --insts=N         instructions to measure per run\n"
+          "  --bench=A,B       benchmark subset (fig1/run); 'suite-mix'"
+          " allowed for run\n"
+          "  --threads-list=L  override the swept thread counts\n"
+          "  --latencies=L     override the swept L2 latencies\n"
+          "  --format=csv|json result encoding (also --csv / --json)\n"
+          "  --out=DIR         result directory (default: results)\n"
+          "  --no-scale        disable paper-style queue scaling with"
+          " L2 latency\n"
+          "  --quiet           suppress the stdout table\n"
+          "\n"
+          "config keys (applied to every swept machine):\n  ";
+    std::size_t col = 2;
+    for (const auto &key : overrideKeys()) {
+        if (col + key.size() + 2 > 76) {
+            os << "\n  ";
+            col = 2;
+        }
+        os << "--" << key << " ";
+        col += key.size() + 3;
+    }
+    os << "\n\nexamples:\n"
+          "  mtdae fig1 --insts=50000\n"
+          "  mtdae fig4 --threads-list=1,4 --latencies=1,32 --json\n"
+          "  mtdae run --bench=tomcatv --threads=4 --l2-latency=64\n";
+}
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    Options opts;
+    std::string error;
+    if (!parseArgs(args, opts, error)) {
+        err << "mtdae: " << error << "\n"
+            << "run 'mtdae help' for usage\n";
+        return 2;
+    }
+    if (opts.experiment.empty()) {
+        printHelp(err);
+        return 2;
+    }
+    if (opts.experiment == "help") {
+        printHelp(out);
+        return 0;
+    }
+    if (opts.experiment == "list") {
+        for (const auto &e : experiments())
+            out << e.name << "\t" << e.summary << "\n";
+        return 0;
+    }
+    if (!isExperiment(opts.experiment)) {
+        err << "mtdae: unknown experiment '" << opts.experiment
+            << "'\nrun 'mtdae list' for the experiment list\n";
+        return 2;
+    }
+    for (const auto &bench : opts.benchmarks) {
+        const auto &names = specFp95Names();
+        // Only `run` knows how to drive the suite-mix workload; the
+        // figure sweeps need a concrete benchmark model.
+        const bool mix_ok =
+            bench == "suite-mix" && opts.experiment == "run";
+        if (!mix_ok && std::find(names.begin(), names.end(), bench) ==
+                           names.end()) {
+            err << "mtdae: unknown benchmark '" << bench << "' (have: ";
+            for (std::size_t i = 0; i < names.size(); ++i)
+                err << (i ? ", " : "") << names[i];
+            err << (opts.experiment == "run" ? ", suite-mix)\n" : ")\n");
+            return 2;
+        }
+    }
+
+    // Resolve the CSV directory before the (possibly long) run so a
+    // bad --out fails fast instead of discarding the results.
+    std::string dir;
+    if (opts.format == Options::Format::Csv) {
+        dir = opts.outDir.empty() ? resultsDir() : opts.outDir;
+        if (!makeDirs(dir)) {
+            err << "mtdae: cannot create output directory '" << dir
+                << "'\n";
+            return 2;
+        }
+    }
+
+    const ResultSet rs = runExperiment(opts, err);
+
+    if (!opts.quiet) {
+        TextTable t;
+        t.addRow(rs.header);
+        for (const auto &row : rs.rows)
+            t.addRow(row);
+        // In JSON mode stdout must stay machine-parseable, so the
+        // human-readable table joins the progress lines on stderr.
+        std::ostream &tbl =
+            opts.format == Options::Format::Json ? err : out;
+        tbl << "\n== " << opts.experiment << " ==\n";
+        t.print(tbl);
+    }
+
+    if (opts.format == Options::Format::Json) {
+        writeJson(rs, out);
+    } else {
+        const std::string path = dir + "/" + rs.name + ".csv";
+        CsvWriter csv(path);
+        csv.row(rs.header);
+        for (const auto &row : rs.rows)
+            csv.row(row);
+        err << "wrote " << path << "\n";
+    }
+    return 0;
+}
+
+} // namespace mtdae::cli

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * `mtdae` — the unified experiment driver. All logic lives in
+ * src/harness/cli.{hh,cc} so it can be unit tested; this is only argv
+ * plumbing.
+ *
+ * Usage: mtdae <experiment> [options] [--<config-key>=<value>]
+ * Try:   mtdae list
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return mtdae::cli::runCli(args, std::cout, std::cerr);
+}
