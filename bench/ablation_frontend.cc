@@ -28,13 +28,21 @@ main()
         std::vector<std::vector<std::string>> csv;
         csv.push_back({"ap_units", "ep_units", "ipc", "ap_useful",
                        "ep_useful"});
-        for (const auto &[ap, ep] : std::vector<std::pair<
-                 std::uint32_t, std::uint32_t>>{
-                 {2, 6}, {3, 5}, {4, 4}, {5, 3}, {6, 2}}) {
-            SimConfig cfg = paperConfig(4, true, 16);
+        const std::vector<std::pair<std::uint32_t, std::uint32_t>>
+            splits = {{2, 6}, {3, 5}, {4, 4}, {5, 3}, {6, 2}};
+        SweepSpec spec;
+        for (const auto &[ap, ep] : splits) {
+            SimConfig cfg = paperConfigSeeded(4, true, 16);
             cfg.apUnits = ap;
             cfg.epUnits = ep;
-            const RunResult r = runSuiteMix(cfg, insts * 4);
+            spec.addSuiteMix(cfg, insts * 4,
+                             std::to_string(ap) + "+" +
+                                 std::to_string(ep) + " units");
+        }
+        const std::vector<RunResult> runs = runSweepJobs(spec);
+        std::size_t k = 0;
+        for (const auto &[ap, ep] : splits) {
+            const RunResult &r = runs.at(k++);
             t.addRow({std::to_string(ap) + "+" + std::to_string(ep),
                       TextTable::fmt(r.ipc),
                       TextTable::fmt(100 * r.ap.fraction(SlotUse::Useful),
@@ -60,13 +68,27 @@ main()
         std::vector<std::vector<std::string>> csv;
         csv.push_back({"predictor", "max_branches", "ipc", "mispredict",
                        "ap_idle"});
+        SweepSpec spec;
         for (const auto kind : {SimConfig::PredictorKind::Bimodal,
                                 SimConfig::PredictorKind::Gshare}) {
             for (const std::uint32_t depth : {1u, 4u, 16u}) {
-                SimConfig cfg = paperConfig(4, true, 16);
+                SimConfig cfg = paperConfigSeeded(4, true, 16);
                 cfg.predictor = kind;
                 cfg.maxUnresolvedBranches = depth;
-                const RunResult r = runSuiteMix(cfg, insts * 4);
+                spec.addSuiteMix(
+                    cfg, insts * 4,
+                    std::string(kind == SimConfig::PredictorKind::Bimodal
+                                    ? "bimodal"
+                                    : "gshare") +
+                        " depth " + std::to_string(depth));
+            }
+        }
+        const std::vector<RunResult> runs = runSweepJobs(spec);
+        std::size_t k = 0;
+        for (const auto kind : {SimConfig::PredictorKind::Bimodal,
+                                SimConfig::PredictorKind::Gshare}) {
+            for (const std::uint32_t depth : {1u, 4u, 16u}) {
+                const RunResult &r = runs.at(k++);
                 const char *name =
                     kind == SimConfig::PredictorKind::Bimodal
                         ? "bimodal" : "gshare";

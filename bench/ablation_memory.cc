@@ -23,13 +23,23 @@ main()
         t.addRow({"MSHRs", "1T IPC", "4T IPC", "4T bus%"});
         std::vector<std::vector<std::string>> csv;
         csv.push_back({"mshrs", "threads", "ipc", "bus_util"});
+        SweepSpec spec;
+        for (const std::uint32_t m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+            for (const std::uint32_t n : {1u, 4u}) {
+                SimConfig cfg = paperConfigSeeded(n, true, 64);
+                cfg.mshrs = m;
+                spec.addSuiteMix(cfg, insts * n,
+                                 std::to_string(m) + " MSHRs " +
+                                     std::to_string(n) + "T");
+            }
+        }
+        const std::vector<RunResult> runs = runSweepJobs(spec);
+        std::size_t k = 0;
         for (const std::uint32_t m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
             std::vector<std::string> row = {std::to_string(m)};
             double bus4 = 0;
             for (const std::uint32_t n : {1u, 4u}) {
-                SimConfig cfg = paperConfig(n, true, 64);
-                cfg.mshrs = m;
-                const RunResult r = runSuiteMix(cfg, insts * n);
+                const RunResult &r = runs.at(k++);
                 row.push_back(TextTable::fmt(r.ipc));
                 if (n == 4)
                     bus4 = r.busUtilization;
@@ -49,12 +59,22 @@ main()
         t.addRow({"L1 ports", "1T IPC", "4T IPC"});
         std::vector<std::vector<std::string>> csv;
         csv.push_back({"ports", "threads", "ipc"});
+        SweepSpec spec;
+        for (const std::uint32_t p : {1u, 2u, 4u, 8u}) {
+            for (const std::uint32_t n : {1u, 4u}) {
+                SimConfig cfg = paperConfigSeeded(n, true, 64);
+                cfg.l1Ports = p;
+                spec.addSuiteMix(cfg, insts * n,
+                                 std::to_string(p) + " ports " +
+                                     std::to_string(n) + "T");
+            }
+        }
+        const std::vector<RunResult> runs = runSweepJobs(spec);
+        std::size_t k = 0;
         for (const std::uint32_t p : {1u, 2u, 4u, 8u}) {
             std::vector<std::string> row = {std::to_string(p)};
             for (const std::uint32_t n : {1u, 4u}) {
-                SimConfig cfg = paperConfig(n, true, 64);
-                cfg.l1Ports = p;
-                const RunResult r = runSuiteMix(cfg, insts * n);
+                const RunResult &r = runs.at(k++);
                 row.push_back(TextTable::fmt(r.ipc));
                 csv.push_back({std::to_string(p), std::to_string(n),
                                TextTable::fmt(r.ipc, 4)});

@@ -26,12 +26,27 @@ main()
     std::vector<std::vector<std::string>> csv;
     csv.push_back({"iq_entries", "threads", "ipc", "perceived"});
 
+    SweepSpec spec;
+    for (const std::uint32_t depth : depths) {
+        for (const std::uint32_t n : {1u, 4u}) {
+            SimConfig cfg = paperConfigSeeded(n, true, 64);
+            cfg.iqEntries = depth;
+            spec.addSuiteMix(cfg, insts * n,
+                             "IQ " + std::to_string(depth) + " " +
+                                 std::to_string(n) + "T");
+        }
+    }
+    // Reference: the non-decoupled machine (queues disabled entirely).
+    for (const std::uint32_t n : {1u, 4u})
+        spec.addSuiteMix(paperConfigSeeded(n, false, 64), insts * n,
+                         "non-decoupled " + std::to_string(n) + "T");
+    const std::vector<RunResult> runs = runSweepJobs(spec);
+
+    std::size_t k = 0;
     for (const std::uint32_t depth : depths) {
         std::vector<std::string> row = {std::to_string(depth)};
         for (const std::uint32_t n : {1u, 4u}) {
-            SimConfig cfg = paperConfig(n, true, 64);
-            cfg.iqEntries = depth;
-            const RunResult r = runSuiteMix(cfg, insts * n);
+            const RunResult &r = runs.at(k++);
             row.push_back(TextTable::fmt(r.ipc));
             row.push_back(TextTable::fmt(r.perceivedAll, 1));
             csv.push_back({std::to_string(depth), std::to_string(n),
@@ -41,10 +56,8 @@ main()
         t.addRow(row);
     }
 
-    // Reference: the non-decoupled machine (queues disabled entirely).
     for (const std::uint32_t n : {1u, 4u}) {
-        const SimConfig cfg = paperConfig(n, false, 64);
-        const RunResult r = runSuiteMix(cfg, insts * n);
+        const RunResult &r = runs.at(k++);
         t.addRow({"non-dec", n == 1 ? TextTable::fmt(r.ipc) : "",
                   n == 1 ? TextTable::fmt(r.perceivedAll, 1) : "",
                   n == 4 ? TextTable::fmt(r.ipc) : "",

@@ -1,7 +1,9 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction benchmark binaries: table
- * assembly and CSV emission in one call.
+ * assembly, CSV emission, and the sweep-engine plumbing the flag-less
+ * binaries use (worker count from MTDAE_JOBS, base seed from
+ * MTDAE_SEED).
  */
 
 #ifndef MTDAE_BENCH_BENCH_UTIL_HH
@@ -13,8 +15,31 @@
 
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 
 namespace mtdae {
+
+/**
+ * The paper machine for one sweep point, seeded from MTDAE_SEED (the
+ * bench binaries take no flags, so the environment carries the base
+ * seed; SweepSpec derives the per-job seeds from it).
+ */
+inline SimConfig
+paperConfigSeeded(std::uint32_t threads, bool decoupled,
+                  std::uint32_t l2_latency, bool scale_queues = true)
+{
+    SimConfig cfg = paperConfig(threads, decoupled, l2_latency,
+                                scale_queues);
+    cfg.seed = envSeed();
+    return cfg;
+}
+
+/** Run @p spec on the MTDAE_JOBS-sized pool; results in grid order. */
+inline std::vector<RunResult>
+runSweepJobs(const SweepSpec &spec)
+{
+    return JobRunner(envJobs()).run(spec);
+}
 
 /** Print @p table under @p title and mirror it to results/<csv_name>. */
 inline void

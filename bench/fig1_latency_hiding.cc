@@ -26,13 +26,19 @@ main()
     const auto &lats = paperLatencies();
     const auto &names = specFp95Names();
 
+    SweepSpec spec;
+    for (const auto &bench : names)
+        for (const std::uint32_t lat : lats)
+            spec.addBenchmark(paperConfigSeeded(1, true, lat), bench,
+                              insts,
+                              bench + " L2=" + std::to_string(lat));
+    const std::vector<RunResult> runs = runSweepJobs(spec);
+
     std::map<std::string, std::map<std::uint32_t, RunResult>> results;
-    for (const auto &bench : names) {
-        for (const std::uint32_t lat : lats) {
-            SimConfig cfg = paperConfig(1, true, lat);
-            results[bench][lat] = runBenchmark(cfg, bench, insts);
-        }
-    }
+    std::size_t k = 0;
+    for (const auto &bench : names)
+        for (const std::uint32_t lat : lats)
+            results[bench][lat] = runs.at(k++);
 
     auto series_table = [&](auto value_of) {
         TextTable t;

@@ -26,9 +26,15 @@ main()
     csv.push_back({"threads", "ipc", "unit", "useful", "wait_mem",
                    "wait_fu", "idle", "other"});
 
+    SweepSpec spec;
+    for (const std::uint32_t n : threads)
+        spec.addSuiteMix(paperConfigSeeded(n, true, 16), insts * n,
+                         std::to_string(n) + "T suite mix");
+    const std::vector<RunResult> runs = runSweepJobs(spec);
+
+    std::size_t k = 0;
     for (const std::uint32_t n : threads) {
-        const SimConfig cfg = paperConfig(n, true, 16);
-        const RunResult r = runSuiteMix(cfg, insts * n);
+        const RunResult &r = runs.at(k++);
         for (const bool is_ap : {true, false}) {
             const SlotBreakdown &bd = is_ap ? r.ap : r.ep;
             auto pct = [&](SlotUse u) {

@@ -32,16 +32,23 @@ main()
             return t != o.t ? t < o.t : dec < o.dec;
         }
     };
-    std::map<Key, std::map<std::uint32_t, RunResult>> results;
+    SweepSpec spec;
+    for (const std::uint32_t n : threads)
+        for (const bool dec : {true, false})
+            for (const std::uint32_t lat : lats)
+                spec.addSuiteMix(paperConfigSeeded(n, dec, lat),
+                                 insts * n,
+                                 std::to_string(n) + "T " +
+                                     (dec ? "dec" : "non-dec") +
+                                     " L2=" + std::to_string(lat));
+    const std::vector<RunResult> runs = runSweepJobs(spec);
 
-    for (const std::uint32_t n : threads) {
-        for (const bool dec : {true, false}) {
-            for (const std::uint32_t lat : lats) {
-                const SimConfig cfg = paperConfig(n, dec, lat);
-                results[{n, dec}][lat] = runSuiteMix(cfg, insts * n);
-            }
-        }
-    }
+    std::map<Key, std::map<std::uint32_t, RunResult>> results;
+    std::size_t k = 0;
+    for (const std::uint32_t n : threads)
+        for (const bool dec : {true, false})
+            for (const std::uint32_t lat : lats)
+                results[{n, dec}][lat] = runs.at(k++);
 
     auto config_name = [](const Key &k) {
         return std::to_string(k.t) + "T " +

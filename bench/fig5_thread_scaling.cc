@@ -8,6 +8,7 @@
  */
 
 #include <iostream>
+#include <utility>
 
 #include "bench_util.hh"
 
@@ -25,12 +26,27 @@ main()
     csv.push_back({"l2_latency", "threads", "decoupled", "ipc",
                    "bus_util"});
 
-    auto sweep = [&](std::uint32_t lat, std::uint32_t max_threads) {
+    // The paper's two sweeps: L2=16 to 7 threads, L2=64 to 16.
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> sweeps =
+        {{16, 7}, {64, 16}};
+
+    SweepSpec spec;
+    for (const auto &[lat, max_threads] : sweeps)
+        for (std::uint32_t n = 1; n <= max_threads; ++n)
+            for (const bool d : {true, false})
+                spec.addSuiteMix(paperConfigSeeded(n, d, lat),
+                                 insts * n,
+                                 std::to_string(n) + "T " +
+                                     (d ? "dec" : "non-dec") + " L2=" +
+                                     std::to_string(lat));
+    const std::vector<RunResult> runs = runSweepJobs(spec);
+
+    std::size_t k = 0;
+    for (const auto &[lat, max_threads] : sweeps) {
         for (std::uint32_t n = 1; n <= max_threads; ++n) {
             RunResult dec, nodec;
             for (const bool d : {true, false}) {
-                const SimConfig cfg = paperConfig(n, d, lat);
-                const RunResult r = runSuiteMix(cfg, insts * n);
+                const RunResult &r = runs.at(k++);
                 (d ? dec : nodec) = r;
                 csv.push_back({std::to_string(lat), std::to_string(n),
                                d ? "1" : "0", TextTable::fmt(r.ipc, 4),
@@ -41,10 +57,7 @@ main()
                       TextTable::fmt(100 * dec.busUtilization, 1),
                       TextTable::fmt(100 * nodec.busUtilization, 1)});
         }
-    };
-
-    sweep(16, 7);
-    sweep(64, 16);
+    }
 
     emitTable("Figure 5: IPC vs. hardware contexts (decoupled vs. "
               "non-decoupled)", t, csv, "fig5_thread_scaling.csv");

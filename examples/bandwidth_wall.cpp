@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 
 int
 main(int argc, char **argv)
@@ -28,13 +29,26 @@ main(int argc, char **argv)
     std::cout << "L2 latency " << lat << " cycles; suite-mix workload\n"
               << "threads |  dec IPC  dec bus% | nondec IPC nondec bus%\n";
 
+    SweepSpec spec;
+    for (std::uint32_t n = 1; n <= max_threads; ++n) {
+        for (const bool dec : {true, false}) {
+            SimConfig cfg = paperConfig(n, dec, lat);
+            cfg.seed = envSeed();
+            spec.addSuiteMix(cfg, insts * n,
+                             std::to_string(n) + "T " +
+                                 (dec ? "dec" : "non-dec"));
+        }
+    }
+    const std::vector<RunResult> runs = JobRunner(envJobs()).run(spec);
+
     double best_dec_small = 0.0;
+    std::size_t k = 0;
     for (std::uint32_t n = 1; n <= max_threads; ++n) {
         double ipc[2], bus[2];
         int i = 0;
         for (const bool dec : {true, false}) {
-            const SimConfig cfg = paperConfig(n, dec, lat);
-            const RunResult r = runSuiteMix(cfg, insts * n);
+            (void)dec;
+            const RunResult &r = runs.at(k++);
             ipc[i] = r.ipc;
             bus[i] = 100.0 * r.busUtilization;
             ++i;

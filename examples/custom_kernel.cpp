@@ -13,13 +13,48 @@
 #include <iomanip>
 #include <iostream>
 
+#include "common/rng.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "workload/kernel.hh"
 #include "workload/trace_source.hh"
 
 using namespace mtdae;
 
 namespace {
+
+/**
+ * A user-defined workload recipe: the same custom kernel on every
+ * hardware context. Implementing TraceSourceFactory is all it takes to
+ * run your own code through the parallel sweep engine.
+ */
+class KernelFactory : public TraceSourceFactory
+{
+  public:
+    explicit KernelFactory(Kernel k) : kernel_(std::move(k)) {}
+
+    std::vector<std::unique_ptr<TraceSource>>
+    make(std::uint32_t num_threads, std::uint64_t seed) const override
+    {
+        std::vector<std::unique_ptr<TraceSource>> sources;
+        for (ThreadId t = 0; t < num_threads; ++t)
+            sources.push_back(std::make_unique<KernelTraceSource>(
+                kernel_, 0x10000000 + (Addr(t) << 34), 0x1000,
+                deriveSeed(seed, t)));
+        return sources;
+    }
+
+    std::unique_ptr<TraceSourceFactory>
+    clone() const override
+    {
+        return std::make_unique<KernelFactory>(kernel_);
+    }
+
+    const std::string &name() const override { return kernel_.name; }
+
+  private:
+    Kernel kernel_;
+};
 
 /** Streaming: addresses come from induction variables only. */
 Kernel
@@ -62,16 +97,26 @@ report(const Kernel &k)
               << k.ops.size() << " ops/iteration)\n"
               << "  L2 lat | dec IPC | dec perceived | "
                  "non-dec IPC | non-dec perceived\n";
+    SweepSpec spec;
+    for (const std::uint32_t lat : paperLatencies()) {
+        for (const bool dec : {true, false}) {
+            SimConfig cfg = paperConfig(1, dec, lat);
+            cfg.seed = envSeed();
+            spec.add(cfg, std::make_unique<KernelFactory>(k),
+                     instsBudget(100000),
+                     k.name + (dec ? " dec" : " non-dec") + " L2=" +
+                         std::to_string(lat));
+        }
+    }
+    const std::vector<RunResult> runs = JobRunner(envJobs()).run(spec);
+
+    std::size_t j = 0;
     for (const std::uint32_t lat : paperLatencies()) {
         double vals[4];
         int idx = 0;
         for (const bool dec : {true, false}) {
-            SimConfig cfg = paperConfig(1, dec, lat);
-            std::vector<std::unique_ptr<TraceSource>> sources;
-            sources.push_back(std::make_unique<KernelTraceSource>(
-                k, 0x10000000, 0x1000, cfg.seed));
-            Simulator sim(cfg, std::move(sources));
-            const RunResult r = sim.run(instsBudget(100000));
+            (void)dec;
+            const RunResult &r = runs.at(j++);
             vals[idx++] = r.ipc;
             vals[idx++] = r.perceivedAll;
         }

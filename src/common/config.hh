@@ -99,7 +99,13 @@ struct SimConfig
     std::uint32_t busBytesPerCycle = 16;
 
     // --- Workload-independent simulation knobs -------------------------
-    /** RNG seed for the whole simulation (trace generation). */
+    /**
+     * RNG seed for the whole simulation (trace generation); set from
+     * the CLI with --seed. Sweeps treat the configured value as the
+     * *base* seed: SweepSpec (src/harness/sweep.hh) rewrites each
+     * job's copy to deriveSeed(base, job index) so every grid point
+     * draws an independent, reproducible random stream.
+     */
     std::uint64_t seed = 1;
     /** Instructions to graduate before statistics reset (cache warm-up). */
     std::uint64_t warmupInsts = 50000;

@@ -5,6 +5,10 @@
  * panic(): an internal simulator invariant was violated (a bug); aborts.
  * fatal(): the user asked for something impossible (bad config); exits.
  * warn()/inform(): advisory messages that never stop the simulation.
+ *
+ * All helpers are safe to call from concurrent sweep workers: each
+ * message is formatted off-lock and written to the sink as one guarded
+ * line, so output from parallel jobs never interleaves mid-line.
  */
 
 #ifndef MTDAE_COMMON_LOG_HH

@@ -81,6 +81,25 @@ class Rng
     std::array<std::uint64_t, 4> state_;
 };
 
+/**
+ * Derive an independent seed for substream @p stream of @p base
+ * (one splitmix64 step over the golden-ratio-spaced sequence).
+ *
+ * The sweep engine gives every SimJob the seed
+ * deriveSeed(SimConfig::seed, job index): a pure function of the
+ * sweep-grid position, never of scheduling, so a sweep's results are
+ * identical at any worker count while the jobs' random streams stay
+ * decorrelated from each other.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    std::uint64_t z = base + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace mtdae
 
 #endif // MTDAE_COMMON_RNG_HH

@@ -13,6 +13,7 @@
 #include "common/table.hh"
 #include "core/slot_stats.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "workload/spec_fp95.hh"
 
 namespace mtdae::cli {
@@ -182,11 +183,22 @@ makeCfg(const Options &opts, std::uint32_t threads, bool decoupled,
     return cfg;
 }
 
-void
-progress(const Options &opts, std::ostream &err, const std::string &what)
+/**
+ * Execute @p spec on the worker pool selected by --jobs, echoing each
+ * job's label to @p err as it starts (unless --quiet). The returned
+ * results are in grid order, so the experiment formatters below walk
+ * them with the same nested loops that built the spec.
+ */
+std::vector<RunResult>
+runSweep(const SweepSpec &spec, const Options &opts, std::ostream &err)
 {
+    const JobRunner runner(opts.jobs);
+    JobRunner::Progress on_start;
     if (!opts.quiet)
-        err << "  running " << what << "\n";
+        on_start = [&err](const SimJob &job) {
+            err << "  running " << job.label << "\n";
+        };
+    return runner.run(spec, on_start);
 }
 
 std::vector<std::uint32_t>
@@ -214,31 +226,43 @@ expRun(const Options &opts, std::ostream &err)
         benches = {"suite-mix"};
     const auto threads = sweepOr(opts.threads, {1});
     const auto lats = sweepOr(opts.latencies, {16});
+    SweepSpec spec;
     for (const auto &bench : benches) {
         for (const std::uint32_t n : threads) {
             for (const std::uint32_t lat : lats) {
-                progress(opts, err,
-                         bench + " " + std::to_string(n) + "T L2=" +
-                             std::to_string(lat));
                 const SimConfig cfg = makeCfg(opts, n, true, lat);
-                const RunResult r =
-                    bench == "suite-mix"
-                        ? runSuiteMix(cfg, insts * n)
-                        : runBenchmark(cfg, bench, insts * n);
-                rs.rows.push_back(
-                    {bench, std::to_string(cfg.numThreads),
-                     cfg.decoupled ? "1" : "0",
-                     std::to_string(cfg.l2Latency),
-                     std::to_string(r.cycles), std::to_string(r.insts),
-                     fmt(r.ipc), fmt(r.perceivedFp), fmt(r.perceivedInt),
-                     fmt(r.perceivedAll), fmt(r.loadMissRatio),
-                     fmt(r.storeMissRatio), fmt(r.mergedRatio),
-                     fmt(r.busUtilization), fmt(r.mispredictRate),
-                     fmt(r.ap.fraction(SlotUse::Useful)),
-                     fmt(r.ep.fraction(SlotUse::Useful))});
+                const std::string label = bench + " " +
+                                          std::to_string(n) + "T L2=" +
+                                          std::to_string(lat);
+                if (bench == "suite-mix")
+                    spec.addSuiteMix(cfg, insts * n, label);
+                else
+                    spec.addBenchmark(cfg, bench, insts * n, label);
             }
         }
     }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const auto &bench : benches) {
+        for (std::size_t i = 0; i < threads.size() * lats.size(); ++i) {
+            const SimConfig &cfg = spec.jobs()[k].cfg;
+            const RunResult &r = results[k];
+            ++k;
+            rs.rows.push_back(
+                {bench, std::to_string(cfg.numThreads),
+                 cfg.decoupled ? "1" : "0",
+                 std::to_string(cfg.l2Latency),
+                 std::to_string(r.cycles), std::to_string(r.insts),
+                 fmt(r.ipc), fmt(r.perceivedFp), fmt(r.perceivedInt),
+                 fmt(r.perceivedAll), fmt(r.loadMissRatio),
+                 fmt(r.storeMissRatio), fmt(r.mergedRatio),
+                 fmt(r.busUtilization), fmt(r.mispredictRate),
+                 fmt(r.ap.fraction(SlotUse::Useful)),
+                 fmt(r.ep.fraction(SlotUse::Useful))});
+        }
+    }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -254,12 +278,17 @@ expFig1(const Options &opts, std::ostream &err)
     const auto benches =
         opts.benchmarks.empty() ? specFp95Names() : opts.benchmarks;
     const auto lats = sweepOr(opts.latencies, paperLatencies());
+    SweepSpec spec;
+    for (const auto &bench : benches)
+        for (const std::uint32_t lat : lats)
+            spec.addBenchmark(makeCfg(opts, 1, true, lat), bench, insts,
+                              bench + " L2=" + std::to_string(lat));
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
     for (const auto &bench : benches) {
         double base_ipc = 0.0;
         for (const std::uint32_t lat : lats) {
-            progress(opts, err, bench + " L2=" + std::to_string(lat));
-            const SimConfig cfg = makeCfg(opts, 1, true, lat);
-            const RunResult r = runBenchmark(cfg, bench, insts);
+            const RunResult &r = results.at(k++);
             if (base_ipc == 0.0)
                 base_ipc = r.ipc;
             const double loss =
@@ -272,6 +301,8 @@ expFig1(const Options &opts, std::ostream &err)
                                fmt(r.mergedRatio)});
         }
     }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -286,10 +317,14 @@ expFig3(const Options &opts, std::ostream &err)
     const auto threads = sweepOr(opts.threads, {1, 2, 3, 4, 5, 6});
     const std::uint32_t lat =
         opts.latencies.empty() ? 16 : opts.latencies.front();
+    SweepSpec spec;
+    for (const std::uint32_t n : threads)
+        spec.addSuiteMix(makeCfg(opts, n, true, lat), insts * n,
+                         std::to_string(n) + "T suite mix");
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
     for (const std::uint32_t n : threads) {
-        progress(opts, err, std::to_string(n) + "T suite mix");
-        const SimConfig cfg = makeCfg(opts, n, true, lat);
-        const RunResult r = runSuiteMix(cfg, insts * n);
+        const RunResult &r = results.at(k++);
         for (const bool is_ap : {true, false}) {
             const SlotBreakdown &bd = is_ap ? r.ap : r.ep;
             rs.rows.push_back({std::to_string(n), fmt(r.ipc),
@@ -301,6 +336,8 @@ expFig3(const Options &opts, std::ostream &err)
                                fmt(bd.fraction(SlotUse::Other))});
         }
     }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -314,16 +351,22 @@ expFig4(const Options &opts, std::ostream &err)
     const std::uint64_t insts = budget(opts, 300000);
     const auto threads = sweepOr(opts.threads, {1, 2, 3, 4});
     const auto lats = sweepOr(opts.latencies, paperLatencies());
+    SweepSpec spec;
+    for (const std::uint32_t n : threads)
+        for (const bool dec : {true, false})
+            for (const std::uint32_t lat : lats)
+                spec.addSuiteMix(makeCfg(opts, n, dec, lat), insts * n,
+                                 std::to_string(n) + "T " +
+                                     (dec ? "decoupled"
+                                          : "non-decoupled") +
+                                     " L2=" + std::to_string(lat));
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
     for (const std::uint32_t n : threads) {
         for (const bool dec : {true, false}) {
             double base_ipc = 0.0;
             for (const std::uint32_t lat : lats) {
-                progress(opts, err,
-                         std::to_string(n) + "T " +
-                             (dec ? "decoupled" : "non-decoupled") +
-                             " L2=" + std::to_string(lat));
-                const SimConfig cfg = makeCfg(opts, n, dec, lat);
-                const RunResult r = runSuiteMix(cfg, insts * n);
+                const RunResult &r = results.at(k++);
                 if (base_ipc == 0.0)
                     base_ipc = r.ipc;
                 const double loss =
@@ -335,6 +378,8 @@ expFig4(const Options &opts, std::ostream &err)
             }
         }
     }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -360,21 +405,29 @@ expFig5(const Options &opts, std::ostream &err)
         for (const std::uint32_t lat : lats)
             sweeps.push_back({lat, threads});
     }
+    SweepSpec spec;
+    for (const auto &[lat, threads] : sweeps)
+        for (const std::uint32_t n : threads)
+            for (const bool dec : {true, false})
+                spec.addSuiteMix(makeCfg(opts, n, dec, lat), insts * n,
+                                 std::to_string(n) + "T " +
+                                     (dec ? "decoupled"
+                                          : "non-decoupled") +
+                                     " L2=" + std::to_string(lat));
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
     for (const auto &[lat, threads] : sweeps) {
         for (const std::uint32_t n : threads) {
             for (const bool dec : {true, false}) {
-                progress(opts, err,
-                         std::to_string(n) + "T " +
-                             (dec ? "decoupled" : "non-decoupled") +
-                             " L2=" + std::to_string(lat));
-                const SimConfig cfg = makeCfg(opts, n, dec, lat);
-                const RunResult r = runSuiteMix(cfg, insts * n);
+                const RunResult &r = results.at(k++);
                 rs.rows.push_back({std::to_string(lat),
                                    std::to_string(n), dec ? "1" : "0",
                                    fmt(r.ipc), fmt(r.busUtilization)});
             }
         }
     }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -390,21 +443,28 @@ expAblateWidth(const Options &opts, std::ostream &err)
         opts.threads.empty() ? 4 : opts.threads.front();
     const std::uint32_t lat =
         opts.latencies.empty() ? 16 : opts.latencies.front();
-    for (const auto &[ap, ep] :
-         std::vector<std::pair<std::uint32_t, std::uint32_t>>{
-             {2, 6}, {3, 5}, {4, 4}, {5, 3}, {6, 2}}) {
-        progress(opts, err,
-                 std::to_string(ap) + "+" + std::to_string(ep) +
-                     " units");
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> splits =
+        {{2, 6}, {3, 5}, {4, 4}, {5, 3}, {6, 2}};
+    SweepSpec spec;
+    for (const auto &[ap, ep] : splits) {
         SimConfig cfg = makeCfg(opts, n, true, lat);
         cfg.apUnits = ap;
         cfg.epUnits = ep;
-        const RunResult r = runSuiteMix(cfg, insts * n);
+        spec.addSuiteMix(cfg, insts * n,
+                         std::to_string(ap) + "+" + std::to_string(ep) +
+                             " units");
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const auto &[ap, ep] : splits) {
+        const RunResult &r = results.at(k++);
         rs.rows.push_back({std::to_string(ap), std::to_string(ep),
                            fmt(r.ipc),
                            fmt(r.ap.fraction(SlotUse::Useful)),
                            fmt(r.ep.fraction(SlotUse::Useful))});
     }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -420,24 +480,37 @@ expAblatePredictor(const Options &opts, std::ostream &err)
         opts.threads.empty() ? 4 : opts.threads.front();
     const std::uint32_t lat =
         opts.latencies.empty() ? 16 : opts.latencies.front();
+    SweepSpec spec;
     for (const auto kind : {SimConfig::PredictorKind::Bimodal,
                             SimConfig::PredictorKind::Gshare}) {
         for (const std::uint32_t depth : {1u, 4u, 16u}) {
             const char *name =
                 kind == SimConfig::PredictorKind::Bimodal ? "bimodal"
                                                           : "gshare";
-            progress(opts, err,
-                     std::string(name) + " depth " +
-                         std::to_string(depth));
             SimConfig cfg = makeCfg(opts, n, true, lat);
             cfg.predictor = kind;
             cfg.maxUnresolvedBranches = depth;
-            const RunResult r = runSuiteMix(cfg, insts * n);
+            spec.addSuiteMix(cfg, insts * n,
+                             std::string(name) + " depth " +
+                                 std::to_string(depth));
+        }
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const auto kind : {SimConfig::PredictorKind::Bimodal,
+                            SimConfig::PredictorKind::Gshare}) {
+        for (const std::uint32_t depth : {1u, 4u, 16u}) {
+            const char *name =
+                kind == SimConfig::PredictorKind::Bimodal ? "bimodal"
+                                                          : "gshare";
+            const RunResult &r = results.at(k++);
             rs.rows.push_back({name, std::to_string(depth), fmt(r.ipc),
                                fmt(r.mispredictRate),
                                fmt(r.ap.fraction(SlotUse::Idle))});
         }
     }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -451,18 +524,27 @@ expAblateMshrs(const Options &opts, std::ostream &err)
     const std::uint32_t lat =
         opts.latencies.empty() ? 64 : opts.latencies.front();
     const auto threads = sweepOr(opts.threads, {1, 4});
+    SweepSpec spec;
     for (const std::uint32_t m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
         for (const std::uint32_t n : threads) {
-            progress(opts, err,
-                     std::to_string(m) + " MSHRs " + std::to_string(n) +
-                         "T");
             SimConfig cfg = makeCfg(opts, n, true, lat);
             cfg.mshrs = m;
-            const RunResult r = runSuiteMix(cfg, insts * n);
+            spec.addSuiteMix(cfg, insts * n,
+                             std::to_string(m) + " MSHRs " +
+                                 std::to_string(n) + "T");
+        }
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const std::uint32_t m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        for (const std::uint32_t n : threads) {
+            const RunResult &r = results.at(k++);
             rs.rows.push_back({std::to_string(m), std::to_string(n),
                                fmt(r.ipc), fmt(r.busUtilization)});
         }
     }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -476,18 +558,27 @@ expAblatePorts(const Options &opts, std::ostream &err)
     const std::uint32_t lat =
         opts.latencies.empty() ? 64 : opts.latencies.front();
     const auto threads = sweepOr(opts.threads, {1, 4});
+    SweepSpec spec;
     for (const std::uint32_t p : {1u, 2u, 4u, 8u}) {
         for (const std::uint32_t n : threads) {
-            progress(opts, err,
-                     std::to_string(p) + " ports " + std::to_string(n) +
-                         "T");
             SimConfig cfg = makeCfg(opts, n, true, lat);
             cfg.l1Ports = p;
-            const RunResult r = runSuiteMix(cfg, insts * n);
+            spec.addSuiteMix(cfg, insts * n,
+                             std::to_string(p) + " ports " +
+                                 std::to_string(n) + "T");
+        }
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const std::uint32_t p : {1u, 2u, 4u, 8u}) {
+        for (const std::uint32_t n : threads) {
+            const RunResult &r = results.at(k++);
             rs.rows.push_back(
                 {std::to_string(p), std::to_string(n), fmt(r.ipc)});
         }
     }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -501,27 +592,38 @@ expAblateIq(const Options &opts, std::ostream &err)
     const std::uint32_t lat =
         opts.latencies.empty() ? 64 : opts.latencies.front();
     const auto threads = sweepOr(opts.threads, {1, 4});
+    SweepSpec spec;
     for (const std::uint32_t depth :
          {1u, 2u, 4u, 8u, 16u, 32u, 48u, 96u, 192u, 384u}) {
         for (const std::uint32_t n : threads) {
-            progress(opts, err,
-                     "IQ " + std::to_string(depth) + " " +
-                         std::to_string(n) + "T");
             SimConfig cfg = makeCfg(opts, n, true, lat);
             cfg.iqEntries = depth;
-            const RunResult r = runSuiteMix(cfg, insts * n);
+            spec.addSuiteMix(cfg, insts * n,
+                             "IQ " + std::to_string(depth) + " " +
+                                 std::to_string(n) + "T");
+        }
+    }
+    // iq_entries = 0 marks the non-decoupled reference machine.
+    for (const std::uint32_t n : threads)
+        spec.addSuiteMix(makeCfg(opts, n, false, lat), insts * n,
+                         "non-decoupled " + std::to_string(n) + "T");
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const std::uint32_t depth :
+         {1u, 2u, 4u, 8u, 16u, 32u, 48u, 96u, 192u, 384u}) {
+        for (const std::uint32_t n : threads) {
+            const RunResult &r = results.at(k++);
             rs.rows.push_back({std::to_string(depth), std::to_string(n),
                                fmt(r.ipc), fmt(r.perceivedAll)});
         }
     }
-    // iq_entries = 0 marks the non-decoupled reference machine.
     for (const std::uint32_t n : threads) {
-        progress(opts, err, "non-decoupled " + std::to_string(n) + "T");
-        const SimConfig cfg = makeCfg(opts, n, false, lat);
-        const RunResult r = runSuiteMix(cfg, insts * n);
+        const RunResult &r = results.at(k++);
         rs.rows.push_back({"0", std::to_string(n), fmt(r.ipc),
                            fmt(r.perceivedAll)});
     }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
     return rs;
 }
 
@@ -705,6 +807,12 @@ parseArgs(const std::vector<std::string> &args, Options &opts,
         } else if (key == "latencies") {
             if (!parseU32List(value, opts.latencies, error))
                 return false;
+        } else if (key == "jobs") {
+            if (!parseU32(value, opts.jobs) || opts.jobs == 0) {
+                error = "bad --jobs '" + value +
+                        "' (need a worker count >= 1)";
+                return false;
+            }
         } else if (has_value) {
             if (!applyOverride(scratch, key, value, error))
                 return false;
@@ -788,6 +896,13 @@ printHelp(std::ostream &os)
           " allowed for run\n"
           "  --threads-list=L  override the swept thread counts\n"
           "  --latencies=L     override the swept L2 latencies\n"
+          "  --jobs=N          sweep worker threads (default: hardware"
+          " concurrency);\n"
+          "                    results are identical at any N\n"
+          "  --seed=S          base RNG seed; each sweep point derives"
+          " its own\n"
+          "                    deterministic seed from S and its grid"
+          " position\n"
           "  --format=csv|json result encoding (also --csv / --json)\n"
           "  --out=DIR         result directory (default: results)\n"
           "  --no-scale        disable paper-style queue scaling with"
@@ -806,6 +921,7 @@ printHelp(std::ostream &os)
     }
     os << "\n\nexamples:\n"
           "  mtdae fig1 --insts=50000\n"
+          "  mtdae fig4 --jobs=8 --seed=42\n"
           "  mtdae fig4 --threads-list=1,4 --latencies=1,32 --json\n"
           "  mtdae run --bench=tomcatv --threads=4 --l2-latency=64\n";
 }

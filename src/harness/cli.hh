@@ -47,6 +47,13 @@ struct Options
     /** Disable the paper's §2 queue/register scaling with L2 latency. */
     bool scaleQueues = true;
 
+    /**
+     * Sweep worker threads (--jobs=N); 0 means the hardware default
+     * (see defaultJobs() in harness/sweep.hh). Results are identical
+     * at any worker count.
+     */
+    std::uint32_t jobs = 0;
+
     /** Suppress the human-readable table on stdout. */
     bool quiet = false;
 

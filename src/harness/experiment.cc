@@ -34,20 +34,17 @@ RunResult
 runBenchmark(const SimConfig &cfg, const std::string &bench,
              std::uint64_t measure_insts)
 {
-    std::vector<std::unique_ptr<TraceSource>> sources;
-    for (ThreadId t = 0; t < cfg.numThreads; ++t)
-        sources.push_back(makeSpecFp95Source(bench, t, cfg.seed));
-    Simulator sim(cfg, std::move(sources));
+    Simulator sim(cfg,
+                  makeBenchmarkFactory(bench)->make(cfg.numThreads,
+                                                    cfg.seed));
     return sim.run(measure_insts);
 }
 
 RunResult
 runSuiteMix(const SimConfig &cfg, std::uint64_t measure_insts)
 {
-    std::vector<std::unique_ptr<TraceSource>> sources;
-    for (ThreadId t = 0; t < cfg.numThreads; ++t)
-        sources.push_back(makeSuiteMixSource(t, cfg.seed));
-    Simulator sim(cfg, std::move(sources));
+    Simulator sim(cfg,
+                  makeSuiteMixFactory()->make(cfg.numThreads, cfg.seed));
     return sim.run(measure_insts);
 }
 

@@ -1,8 +1,11 @@
 /**
  * @file
  * Experiment harness: canonical paper configurations, single-run drivers
- * and sweep helpers shared by the figure benchmarks, the examples and
- * the integration tests.
+ * and environment plumbing shared by the figure benchmarks, the examples
+ * and the integration tests. Multi-point experiments are declared as
+ * SweepSpec grids and executed on the worker pool (harness/sweep.hh);
+ * the runBenchmark/runSuiteMix drivers here are the serial single-point
+ * equivalents used by tests and the simplest examples.
  */
 
 #ifndef MTDAE_HARNESS_EXPERIMENT_HH

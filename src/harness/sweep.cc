@@ -1,0 +1,156 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "workload/spec_fp95.hh"
+
+namespace mtdae {
+
+RunResult
+SimJob::run() const
+{
+    MTDAE_ASSERT(sources != nullptr, "SimJob ", index, " has no sources");
+    Simulator sim(cfg, sources->make(cfg.numThreads, cfg.seed));
+    return sim.run(measureInsts);
+}
+
+SimJob &
+SweepSpec::add(const SimConfig &cfg,
+               std::unique_ptr<TraceSourceFactory> sources,
+               std::uint64_t measure_insts, std::string label)
+{
+    // Validate here, on the caller's thread: a bad configuration must
+    // fatal() before the pool starts, not from inside a worker racing
+    // std::exit() against in-flight jobs.
+    cfg.validate();
+    SimJob job;
+    job.index = jobs_.size();
+    job.cfg = cfg;
+    job.cfg.seed = deriveSeed(cfg.seed, job.index);
+    job.measureInsts = measure_insts;
+    job.label = label.empty() && sources ? sources->name()
+                                         : std::move(label);
+    job.sources = std::move(sources);
+    jobs_.push_back(std::move(job));
+    return jobs_.back();
+}
+
+SimJob &
+SweepSpec::addSuiteMix(const SimConfig &cfg, std::uint64_t measure_insts,
+                       std::string label)
+{
+    return add(cfg, makeSuiteMixFactory(), measure_insts,
+               std::move(label));
+}
+
+SimJob &
+SweepSpec::addBenchmark(const SimConfig &cfg, const std::string &bench,
+                        std::uint64_t measure_insts, std::string label)
+{
+    return add(cfg, makeBenchmarkFactory(bench), measure_insts,
+               std::move(label));
+}
+
+JobRunner::JobRunner(std::uint32_t workers)
+    : workers_(workers ? workers : defaultJobs())
+{}
+
+std::vector<RunResult>
+JobRunner::run(const SweepSpec &spec, const Progress &on_start) const
+{
+    const std::vector<SimJob> &jobs = spec.jobs();
+    std::vector<RunResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex mu;  // guards on_start, firstError/errorIndex
+    std::exception_ptr first_error;
+    std::size_t error_index = jobs.size();
+
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size() ||
+                cancelled.load(std::memory_order_relaxed))
+                return;
+            if (on_start) {
+                const std::lock_guard<std::mutex> lock(mu);
+                on_start(jobs[i]);
+            }
+            try {
+                // Each slot is written by exactly one worker and read
+                // only after the join, so no lock is needed here.
+                results[i] = jobs[i].run();
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(mu);
+                if (i < error_index) {
+                    error_index = i;
+                    first_error = std::current_exception();
+                }
+                cancelled.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    const std::size_t pool =
+        std::min<std::size_t>(workers_, jobs.size());
+    if (pool <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (std::size_t w = 0; w < pool; ++w)
+            threads.emplace_back(work);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+std::uint32_t
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::uint32_t
+envJobs()
+{
+    if (const char *env = std::getenv("MTDAE_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 0xffffffffUL)
+            return std::uint32_t(v);
+        warn("ignoring bad MTDAE_JOBS value '", env, "'");
+    }
+    return defaultJobs();
+}
+
+std::uint64_t
+envSeed()
+{
+    if (const char *env = std::getenv("MTDAE_SEED")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            return v;
+        warn("ignoring bad MTDAE_SEED value '", env, "'");
+    }
+    return SimConfig().seed;
+}
+
+} // namespace mtdae

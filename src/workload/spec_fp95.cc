@@ -1,5 +1,7 @@
 #include "workload/spec_fp95.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace mtdae {
@@ -452,6 +454,89 @@ makeSuiteMixSource(ThreadId thread, std::uint64_t seed,
     }
     return std::make_unique<SequenceTraceSource>(std::move(sources),
                                                  segment_insts);
+}
+
+namespace {
+
+/** One benchmark on every context (the Figure 1 workload shape). */
+class BenchmarkFactory : public TraceSourceFactory
+{
+  public:
+    explicit BenchmarkFactory(std::string bench)
+        : bench_(std::move(bench))
+    {
+        // Reject unknown names at construction, not inside a worker;
+        // a bad name is a user error, so fatal() rather than panic.
+        const auto &names = specFp95Names();
+        if (std::find(names.begin(), names.end(), bench_) ==
+            names.end())
+            MTDAE_FATAL("unknown benchmark '", bench_, "'");
+    }
+
+    std::vector<std::unique_ptr<TraceSource>>
+    make(std::uint32_t num_threads, std::uint64_t seed) const override
+    {
+        std::vector<std::unique_ptr<TraceSource>> sources;
+        for (ThreadId t = 0; t < num_threads; ++t)
+            sources.push_back(makeSpecFp95Source(bench_, t, seed));
+        return sources;
+    }
+
+    std::unique_ptr<TraceSourceFactory>
+    clone() const override
+    {
+        return std::make_unique<BenchmarkFactory>(bench_);
+    }
+
+    const std::string &name() const override { return bench_; }
+
+  private:
+    std::string bench_;
+};
+
+/** The rotated full-suite workload of the paper's Section 3. */
+class SuiteMixFactory : public TraceSourceFactory
+{
+  public:
+    explicit SuiteMixFactory(std::uint64_t segment_insts)
+        : segmentInsts_(segment_insts)
+    {}
+
+    std::vector<std::unique_ptr<TraceSource>>
+    make(std::uint32_t num_threads, std::uint64_t seed) const override
+    {
+        std::vector<std::unique_ptr<TraceSource>> sources;
+        for (ThreadId t = 0; t < num_threads; ++t)
+            sources.push_back(
+                makeSuiteMixSource(t, seed, segmentInsts_));
+        return sources;
+    }
+
+    std::unique_ptr<TraceSourceFactory>
+    clone() const override
+    {
+        return std::make_unique<SuiteMixFactory>(segmentInsts_);
+    }
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::uint64_t segmentInsts_;
+    std::string name_ = "suite-mix";
+};
+
+} // namespace
+
+std::unique_ptr<TraceSourceFactory>
+makeBenchmarkFactory(const std::string &name)
+{
+    return std::make_unique<BenchmarkFactory>(name);
+}
+
+std::unique_ptr<TraceSourceFactory>
+makeSuiteMixFactory(std::uint64_t segment_insts)
+{
+    return std::make_unique<SuiteMixFactory>(segment_insts);
 }
 
 } // namespace mtdae

@@ -67,6 +67,21 @@ std::unique_ptr<SequenceTraceSource>
 makeSuiteMixSource(ThreadId thread, std::uint64_t seed,
                    std::uint64_t segment_insts = 30000);
 
+/**
+ * Factory binding a single benchmark to every hardware context (the
+ * Figure 1 workload shape): thread t runs @p name on its own memory
+ * region, seeded from the run seed. fatal() on an unknown name.
+ */
+std::unique_ptr<TraceSourceFactory>
+makeBenchmarkFactory(const std::string &name);
+
+/**
+ * Factory for the paper's Section 3 suite-mix workload: every context
+ * rotates through all ten benchmarks from a thread-specific start.
+ */
+std::unique_ptr<TraceSourceFactory>
+makeSuiteMixFactory(std::uint64_t segment_insts = 30000);
+
 } // namespace mtdae
 
 #endif // MTDAE_WORKLOAD_SPEC_FP95_HH

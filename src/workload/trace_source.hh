@@ -39,6 +39,36 @@ class TraceSource
 };
 
 /**
+ * Cloneable recipe for the trace sources of one simulation.
+ *
+ * A factory is an immutable description of a workload binding; calling
+ * make() materialises a fresh, independent set of per-context sources.
+ * Sweep jobs (src/harness/sweep.hh) each own a clone of their factory
+ * and build their own sources, so concurrently running simulations
+ * share no mutable workload state.
+ */
+class TraceSourceFactory
+{
+  public:
+    virtual ~TraceSourceFactory() = default;
+
+    /**
+     * Build one fresh trace source per hardware context.
+     *
+     * @param num_threads hardware contexts of the target machine
+     * @param seed        base RNG seed (SimConfig::seed of the run)
+     */
+    virtual std::vector<std::unique_ptr<TraceSource>>
+    make(std::uint32_t num_threads, std::uint64_t seed) const = 0;
+
+    /** Deep-copy this recipe (factories are immutable, so this is cheap). */
+    virtual std::unique_ptr<TraceSourceFactory> clone() const = 0;
+
+    /** Workload identifier for labels and reports. */
+    virtual const std::string &name() const = 0;
+};
+
+/**
  * Expands a Kernel into a trace: iterates the loop body, materialising
  * effective addresses from the address streams, branch outcomes from the
  * configured probabilities, and the back-edge from the trip count.
