@@ -1,6 +1,7 @@
 /**
  * @file
- * Ablation (ours, motivated by DESIGN.md §5): how much slippage does
+ * Ablation (ours, motivated by the decoupling mechanics in
+ * docs/ARCHITECTURE.md): how much slippage does
  * decoupling actually need? Sweeps the EP Instruction Queue depth at
  * L2 = 64 and reports IPC and perceived latency — with a 1-entry IQ
  * the machine degenerates towards the non-decoupled baseline, and the

@@ -26,6 +26,9 @@ SimConfig::scaledForLatency(std::uint32_t l2_latency) const
     // buildable, which is what separates the moderate-bandwidth programs
     // (flat) from the bandwidth-monsters like hydro2d (degraded).
     c.mshrs = std::min(c.mshrs * factor, 64u);
+    // The L2's own miss capacity scales with the same reasoning (only
+    // observable when the finite backend is enabled).
+    c.l2Mshrs = std::min(c.l2Mshrs * factor, 32u);
     // Only the registers beyond the architectural ones buffer in-flight
     // results, so only those scale.
     c.apPhysRegs = kArchIntRegs + (apPhysRegs - kArchIntRegs) * factor;
@@ -64,6 +67,21 @@ SimConfig::validate() const
         MTDAE_FATAL("busBytesPerCycle must be >= 1");
     if (fetchThreadsPerCycle == 0 || fetchWidth == 0 || dispatchWidth == 0)
         MTDAE_FATAL("front-end widths must be >= 1");
+    if (l2Assoc == 0)
+        MTDAE_FATAL("l2Assoc must be >= 1");
+    if (l2Bytes == 0 || l2Bytes % (l1LineBytes * l2Assoc) != 0)
+        MTDAE_FATAL("l2Bytes must be a multiple of l1LineBytes * l2Assoc");
+    const std::uint32_t l2_sets = l2Bytes / (l1LineBytes * l2Assoc);
+    if (l2_sets & (l2_sets - 1))
+        MTDAE_FATAL("L2 set count must be a power of two");
+    if (l2Ports == 0 || l2Mshrs == 0)
+        MTDAE_FATAL("the L2 needs at least one port and one MSHR");
+    if (dramBanks == 0)
+        MTDAE_FATAL("dramBanks must be >= 1");
+    if (dramRowBytes < l1LineBytes || dramRowBytes % l1LineBytes != 0)
+        MTDAE_FATAL("dramRowBytes must be a multiple of the line size");
+    if (dramCas == 0 || dramRas == 0 || dramBusCycles == 0)
+        MTDAE_FATAL("DRAM CAS/RAS latencies and bus cycles must be >= 1");
     if (bhtEntries == 0 || (bhtEntries & (bhtEntries - 1)) != 0)
         MTDAE_FATAL("bhtEntries must be a power of two");
 }

@@ -98,6 +98,37 @@ struct SimConfig
     /** L1-L2 bus width in bytes per cycle (128-bit bus). */
     std::uint32_t busBytesPerCycle = 16;
 
+    /**
+     * Perfect L2 (the paper's model): the L2 never misses and every L1
+     * miss costs exactly l2Latency plus bus queueing and transfer. When
+     * false, the finite L2 below backs the L1 and memory latency is
+     * emergent (L2 array + DRAM row buffers + shared buses); l2Latency
+     * then means the L2 *hit* latency. CLI: --perfect-l2.
+     */
+    bool perfectL2 = true;
+    /** L2 cache size in bytes (finite backend only). */
+    std::uint32_t l2Bytes = 512 * 1024;
+    /** L2 associativity (ways per set). */
+    std::uint32_t l2Assoc = 8;
+    /** L2 ports: tag/data accesses accepted per cycle (pipelined). */
+    std::uint32_t l2Ports = 2;
+    /** Outstanding L2 misses (L2 MSHRs); further misses queue. */
+    std::uint32_t l2Mshrs = 8;
+
+    // --- DRAM (finite backend only) --------------------------------------
+    /** Independent DRAM banks sharing one data bus. */
+    std::uint32_t dramBanks = 8;
+    /** DRAM row (page) size in bytes: the row-buffer locality window. */
+    std::uint32_t dramRowBytes = 4096;
+    /** Column access (CAS) latency in CPU cycles: row-buffer hit cost. */
+    std::uint32_t dramCas = 20;
+    /** Row activation (RAS-to-CAS) latency in CPU cycles. */
+    std::uint32_t dramRas = 30;
+    /** Precharge latency in CPU cycles, paid on a row conflict. */
+    std::uint32_t dramPrecharge = 20;
+    /** DRAM data bus cycles to transfer one line (shared by all banks). */
+    std::uint32_t dramBusCycles = 4;
+
     // --- Workload-independent simulation knobs -------------------------
     /**
      * RNG seed for the whole simulation (trace generation); set from

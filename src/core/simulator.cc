@@ -498,6 +498,10 @@ Simulator::snapshot() const
     r.mergedRatio =
         accesses ? double(ms.mergedMisses) / accesses : 0.0;
     r.busUtilization = mem_.busUtilization(now_);
+    r.avgFillLatency = ms.avgFillLatency();
+    r.l2MissRatio = mem_.l2Stats().miss.value();
+    r.dramRowHitRatio = mem_.dramStats().rowHit.value();
+    r.dramBusUtilization = mem_.dramBusUtilization(now_);
 
     r.ap = slotsAp_;
     r.ep = slotsEp_;

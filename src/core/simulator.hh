@@ -53,6 +53,14 @@ struct RunResult
     double mergedRatio = 0.0;     ///< Delayed hits / all accesses.
     double busUtilization = 0.0;  ///< L1-L2 bus utilisation.
 
+    /** Avg end-to-end L1-miss fill latency in cycles. With the perfect
+     *  L2 this is ~l2Latency + transfer; with the finite backend it is
+     *  the *emergent* memory latency (docs/MEMORY.md). */
+    double avgFillLatency = 0.0;
+    double l2MissRatio = 0.0;        ///< L2 miss ratio (finite backend).
+    double dramRowHitRatio = 0.0;    ///< DRAM row-buffer hit ratio.
+    double dramBusUtilization = 0.0; ///< DRAM data bus utilisation.
+
     SlotBreakdown ap;  ///< AP issue-slot breakdown.
     SlotBreakdown ep;  ///< EP issue-slot breakdown.
 

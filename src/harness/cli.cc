@@ -151,6 +151,19 @@ knobs()
         {"l1-hit-latency", u32(&SimConfig::l1HitLatency)},
         {"l2-latency", u32(&SimConfig::l2Latency)},
         {"bus-bytes", u32(&SimConfig::busBytesPerCycle)},
+        {"perfect-l2", Knob{[](SimConfig &c, const std::string &v) {
+             return parseBool(v, c.perfectL2);
+         }}},
+        {"l2-size", u32(&SimConfig::l2Bytes)},
+        {"l2-assoc", u32(&SimConfig::l2Assoc)},
+        {"l2-ports", u32(&SimConfig::l2Ports)},
+        {"l2-mshrs", u32(&SimConfig::l2Mshrs)},
+        {"dram-banks", u32(&SimConfig::dramBanks)},
+        {"dram-row-bytes", u32(&SimConfig::dramRowBytes)},
+        {"dram-cas", u32(&SimConfig::dramCas)},
+        {"dram-ras", u32(&SimConfig::dramRas)},
+        {"dram-precharge", u32(&SimConfig::dramPrecharge)},
+        {"dram-bus-cycles", u32(&SimConfig::dramBusCycles)},
         {"seed", u64(&SimConfig::seed)},
         {"warmup", u64(&SimConfig::warmupInsts)},
     };
@@ -627,6 +640,137 @@ expAblateIq(const Options &opts, std::ostream &err)
     return rs;
 }
 
+ResultSet
+expAblateL2(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_l2";
+    rs.header = {"l2_kb",    "threads",      "ipc",
+                 "l1_miss",  "l2_miss",      "avg_fill",
+                 "dram_row_hit", "dram_bus_util"};
+    const std::uint64_t insts = budget(opts, 120000);
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 16 : opts.latencies.front();
+    const auto threads = sweepOr(opts.threads, {1, 4});
+    const std::vector<std::uint32_t> sizes_kb = {64,  128,  256,
+                                                 512, 1024, 2048};
+    SweepSpec spec;
+    for (const std::uint32_t kb : sizes_kb) {
+        for (const std::uint32_t n : threads) {
+            // Real backend by default, but user overrides still win
+            // (--perfect-l2 turns the sweep into its reference run);
+            // only the swept knob itself is pinned afterwards.
+            SimConfig cfg = paperConfig(n, true, lat, opts.scaleQueues);
+            cfg.perfectL2 = false;
+            std::string error;
+            if (!applyOverrides(cfg, opts, error))
+                MTDAE_FATAL("bad override: ", error);
+            cfg.l2Bytes = kb * 1024;
+            spec.addSuiteMix(cfg, insts * n,
+                             "L2 " + std::to_string(kb) + "KB " +
+                                 std::to_string(n) + "T");
+        }
+    }
+    // l2_kb = 0 marks the paper's perfect-L2 reference machine: the
+    // gap against it is the cost of a real memory system.
+    for (const std::uint32_t n : threads)
+        spec.addSuiteMix(makeCfg(opts, n, true, lat), insts * n,
+                         "perfect L2 " + std::to_string(n) + "T");
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const std::uint32_t kb : sizes_kb) {
+        for (const std::uint32_t n : threads) {
+            const RunResult &r = results.at(k++);
+            rs.rows.push_back({std::to_string(kb), std::to_string(n),
+                               fmt(r.ipc), fmt(r.missRatio),
+                               fmt(r.l2MissRatio),
+                               fmt(r.avgFillLatency, 1),
+                               fmt(r.dramRowHitRatio),
+                               fmt(r.dramBusUtilization)});
+        }
+    }
+    for (const std::uint32_t n : threads) {
+        const RunResult &r = results.at(k++);
+        rs.rows.push_back({"0", std::to_string(n), fmt(r.ipc),
+                           fmt(r.missRatio), fmt(r.l2MissRatio),
+                           fmt(r.avgFillLatency, 1),
+                           fmt(r.dramRowHitRatio),
+                           fmt(r.dramBusUtilization)});
+    }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
+    return rs;
+}
+
+/**
+ * The fig4 latency-tolerance sweep against the real backend: instead of
+ * dialling an abstract L2 latency, successive points slow the *DRAM*
+ * down (CAS/RAS/precharge scaled by dram_scale), and the tolerated
+ * latency is the emergent avg_fill the machine actually experienced.
+ * Structures scale with the backend slowdown exactly as the paper
+ * scales them with L2 latency (factor dram_scale, unless --no-scale).
+ */
+ResultSet
+expFig4Dram(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "fig4_dram";
+    rs.header = {"threads",    "decoupled",    "dram_scale",
+                 "ipc",        "ipc_loss_pct", "avg_fill",
+                 "perceived_all", "l2_miss",   "dram_bus_util"};
+    const std::uint64_t insts = budget(opts, 300000);
+    const auto threads = sweepOr(opts.threads, {1, 2, 3, 4});
+    // --latencies overrides the DRAM slowdown factors, not L2 cycles.
+    const auto scales = sweepOr(opts.latencies, {1, 2, 4, 8});
+    SweepSpec spec;
+    for (const std::uint32_t n : threads) {
+        for (const bool dec : {true, false}) {
+            for (const std::uint32_t s : scales) {
+                SimConfig cfg =
+                    paperConfig(n, dec, 16 * s, opts.scaleQueues);
+                cfg.l2Latency = 16;  // the real L2 hit cost stays put
+                cfg.perfectL2 = false;
+                std::string error;
+                if (!applyOverrides(cfg, opts, error))
+                    MTDAE_FATAL("bad override: ", error);
+                // The swept slowdown scales the (possibly overridden)
+                // base DRAM timings last.
+                cfg.dramCas *= s;
+                cfg.dramRas *= s;
+                cfg.dramPrecharge *= s;
+                spec.addSuiteMix(cfg, insts * n,
+                                 std::to_string(n) + "T " +
+                                     (dec ? "decoupled"
+                                          : "non-decoupled") +
+                                     " DRAMx" + std::to_string(s));
+            }
+        }
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const std::uint32_t n : threads) {
+        for (const bool dec : {true, false}) {
+            double base_ipc = 0.0;
+            for (const std::uint32_t s : scales) {
+                const RunResult &r = results.at(k++);
+                if (base_ipc == 0.0)
+                    base_ipc = r.ipc;
+                const double loss =
+                    base_ipc > 0 ? 100.0 * (1.0 - r.ipc / base_ipc)
+                                 : 0.0;
+                rs.rows.push_back(
+                    {std::to_string(n), dec ? "1" : "0",
+                     std::to_string(s), fmt(r.ipc), fmt(loss, 2),
+                     fmt(r.avgFillLatency, 1), fmt(r.perceivedAll, 2),
+                     fmt(r.l2MissRatio), fmt(r.dramBusUtilization)});
+            }
+        }
+    }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
+    return rs;
+}
+
 using ExperimentFn = ResultSet (*)(const Options &, std::ostream &);
 
 struct Entry
@@ -649,6 +793,9 @@ registry()
          expFig4},
         {{"fig5", "IPC vs. contexts at L2=16/64 with bus utilisation"},
          expFig5},
+        {{"fig4-dram",
+          "latency tolerance against the finite L2 + DRAM backend"},
+         expFig4Dram},
         {{"ablate-width", "AP/EP issue-width split at total width 8"},
          expAblateWidth},
         {{"ablate-predictor",
@@ -658,6 +805,8 @@ registry()
          expAblateMshrs},
         {{"ablate-ports", "L1 data-cache port sweep"}, expAblatePorts},
         {{"ablate-iq", "EP instruction-queue depth sweep"}, expAblateIq},
+        {{"ablate-l2", "L2 size sweep on the DRAM backend"},
+         expAblateL2},
     };
     return entries;
 }
@@ -769,6 +918,9 @@ parseArgs(const std::vector<std::string> &args, Options &opts,
 
         if (key == "json" && !has_value) {
             opts.format = Options::Format::Json;
+        } else if (key == "perfect-l2" && !has_value) {
+            // Bare escape hatch: --perfect-l2 == --perfect-l2=true.
+            opts.overrides.emplace_back("perfect-l2", "1");
         } else if (key == "csv" && !has_value) {
             opts.format = Options::Format::Csv;
         } else if (key == "quiet" && !has_value) {
@@ -896,6 +1048,12 @@ printHelp(std::ostream &os)
           " allowed for run\n"
           "  --threads-list=L  override the swept thread counts\n"
           "  --latencies=L     override the swept L2 latencies\n"
+          "                    (for fig4-dram: the DRAM slowdown"
+          " factors)\n"
+          "  --perfect-l2      force the paper's never-missing L2"
+          " (default for\n"
+          "                    every experiment except fig4-dram and"
+          " ablate-l2)\n"
           "  --jobs=N          sweep worker threads (default: hardware"
           " concurrency);\n"
           "                    results are identical at any N\n"
@@ -923,6 +1081,8 @@ printHelp(std::ostream &os)
           "  mtdae fig1 --insts=50000\n"
           "  mtdae fig4 --jobs=8 --seed=42\n"
           "  mtdae fig4 --threads-list=1,4 --latencies=1,32 --json\n"
+          "  mtdae fig4-dram --latencies=1,4 --dram-banks=4\n"
+          "  mtdae ablate-l2 --threads-list=4 --json\n"
           "  mtdae run --bench=tomcatv --threads=4 --l2-latency=64\n";
 }
 

@@ -41,7 +41,8 @@ struct Options
     /** Override the swept thread counts (empty = experiment default). */
     std::vector<std::uint32_t> threads;
 
-    /** Override the swept L2 latencies (empty = experiment default). */
+    /** Override the swept L2 latencies (empty = experiment default).
+     *  fig4-dram reinterprets these as DRAM slowdown factors. */
     std::vector<std::uint32_t> latencies;
 
     /** Disable the paper's §2 queue/register scaling with L2 latency. */

@@ -1,8 +1,10 @@
 /**
  * @file
- * The shared L1-L2 bus: the only serialising resource on the miss path
- * (the paper's L2 is "infinite, multibanked"). Transfers are reserved in
- * FIFO order; utilisation is the headline Figure 5 bandwidth statistic.
+ * A single shared bus with FIFO reservations. Used twice: as the L1-L2
+ * bus — the only serialising resource on the miss path under the
+ * paper's perfect ("infinite, multibanked") L2, whose utilisation is
+ * the headline Figure 5 bandwidth statistic — and as the DRAM data bus
+ * of the finite backend (memory/dram.hh).
  */
 
 #ifndef MTDAE_MEMORY_BUS_HH

@@ -1,0 +1,90 @@
+#include "memory/dram.hh"
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+Dram::Dram(const SimConfig &cfg)
+    : linesPerRow_(cfg.dramRowBytes / cfg.l1LineBytes),
+      cas_(cfg.dramCas),
+      ras_(cfg.dramRas),
+      precharge_(cfg.dramPrecharge),
+      busCycles_(cfg.dramBusCycles),
+      banks_(cfg.dramBanks)
+{
+    MTDAE_ASSERT(linesPerRow_ > 0,
+                 "DRAM row must hold at least one cache line");
+}
+
+std::uint32_t
+Dram::bankOf(std::uint64_t line_addr) const
+{
+    // Page interleaving: a whole row lives in one bank and consecutive
+    // rows rotate across banks, so streaming accesses enjoy row-buffer
+    // hits while independent streams land in different banks.
+    return static_cast<std::uint32_t>((line_addr / linesPerRow_) %
+                                      banks_.size());
+}
+
+std::uint64_t
+Dram::rowOf(std::uint64_t line_addr) const
+{
+    return (line_addr / linesPerRow_) / banks_.size();
+}
+
+std::uint32_t
+Dram::accessLatency(Bank &bank, std::uint64_t row)
+{
+    std::uint32_t lat;
+    if (bank.rowOpen && bank.openRow == row) {
+        lat = cas_;
+        stats_.rowHit.event(true);
+    } else if (bank.rowOpen) {
+        lat = precharge_ + ras_ + cas_;
+        stats_.rowHit.event(false);
+    } else {
+        lat = ras_ + cas_;
+        stats_.rowHit.event(false);
+    }
+    bank.rowOpen = true;
+    bank.openRow = row;
+    return lat;
+}
+
+Cycle
+Dram::read(std::uint64_t line_addr, Cycle earliest)
+{
+    Bank &bank = banks_[bankOf(line_addr)];
+    const Cycle start = earliest > bank.freeAt ? earliest : bank.freeAt;
+    stats_.bankConflictCycles += start - earliest;
+    const std::uint32_t lat = accessLatency(bank, rowOf(line_addr));
+    // The bank is busy until the line is at its pins; the shared data
+    // bus then carries it FIFO with every other transfer.
+    bank.freeAt = start + lat;
+    stats_.reads += 1;
+    return bus_.reserve(start + lat, busCycles_);
+}
+
+Cycle
+Dram::write(std::uint64_t line_addr, Cycle earliest)
+{
+    // The line crosses the shared data bus to the device first, then
+    // the bank absorbs it under the same row-buffer rules as a read.
+    const Cycle arrived = bus_.reserve(earliest, busCycles_);
+    Bank &bank = banks_[bankOf(line_addr)];
+    const Cycle start = arrived > bank.freeAt ? arrived : bank.freeAt;
+    stats_.bankConflictCycles += start - arrived;
+    const std::uint32_t lat = accessLatency(bank, rowOf(line_addr));
+    bank.freeAt = start + lat;
+    stats_.writes += 1;
+    return start + lat;
+}
+
+void
+Dram::resetStats(Cycle now)
+{
+    stats_.reset();
+    bus_.resetStats(now);
+}
+
+} // namespace mtdae

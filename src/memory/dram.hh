@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The DRAM main memory behind the L2: multiple banks, each with an open
+ * row (page) buffer, sharing one data bus. Latency is no longer a knob
+ * here — it *emerges* from row-buffer locality, bank conflicts and data
+ * bus queueing, so co-scheduled threads genuinely contend.
+ *
+ * Timing model (docs/MEMORY.md §4): a read arriving at cycle t waits
+ * for its bank, pays CAS on a row-buffer hit, RAS+CAS on an empty row
+ * buffer, or precharge+RAS+CAS on a row conflict, then queues the line
+ * on the shared data bus for dramBusCycles. Writes (L2 write-backs)
+ * cross the data bus first, then occupy the bank with the same
+ * row-buffer rules; nothing waits on their completion but they steal
+ * bank time and bus slots from demand reads.
+ */
+
+#ifndef MTDAE_MEMORY_DRAM_HH
+#define MTDAE_MEMORY_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/bus.hh"
+
+namespace mtdae {
+
+/**
+ * DRAM statistics. The row-buffer hit ratio is the headline locality
+ * signal; reads are demand fills, writes are L2 write-back traffic.
+ */
+struct DramStats
+{
+    RatioStat rowHit;             ///< num = row hits, den = all accesses.
+    std::uint64_t reads = 0;      ///< Demand line reads (L2 fills).
+    std::uint64_t writes = 0;     ///< Write-backs from the L2.
+    std::uint64_t bankConflictCycles = 0;  ///< Cycles spent waiting for
+                                           ///< a busy bank.
+
+    void
+    reset()
+    {
+        rowHit.reset();
+        reads = 0;
+        writes = 0;
+        bankConflictCycles = 0;
+    }
+};
+
+/**
+ * The DRAM device array: dramBanks independent banks sharing one data
+ * bus. Like the rest of the hierarchy, timing is computed analytically
+ * at request time (bank/bus reservations), so the model is
+ * share-nothing and deterministic.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const SimConfig &cfg);
+
+    /**
+     * Read one line for an L2 fill.
+     *
+     * @param line_addr line address (byte address / line size)
+     * @param earliest  cycle the request reaches the DRAM controller
+     * @return the cycle the line has fully crossed the data bus
+     */
+    Cycle read(std::uint64_t line_addr, Cycle earliest);
+
+    /**
+     * Write one line (an L2 write-back). The line crosses the data bus,
+     * then occupies its bank; the caller does not wait on the result.
+     *
+     * @return the cycle the bank completes the write
+     */
+    Cycle write(std::uint64_t line_addr, Cycle earliest);
+
+    /** Aggregate statistics. */
+    const DramStats &stats() const { return stats_; }
+
+    /** Data bus utilisation over the current statistics interval. */
+    double busUtilization(Cycle now) const { return bus_.utilization(now); }
+
+    /** Reset statistics (start of the measured interval). */
+    void resetStats(Cycle now);
+
+    /** Bank index of a line address (for tests). */
+    std::uint32_t bankOf(std::uint64_t line_addr) const;
+
+    /** Row index within its bank of a line address (for tests). */
+    std::uint64_t rowOf(std::uint64_t line_addr) const;
+
+  private:
+    struct Bank
+    {
+        std::uint64_t openRow = 0;  ///< Row latched in the row buffer.
+        bool rowOpen = false;       ///< False until the first activate.
+        Cycle freeAt = 0;           ///< Bank busy until this cycle.
+    };
+
+    /** Bank access latency at @p start, updating the row buffer. */
+    std::uint32_t accessLatency(Bank &bank, std::uint64_t row);
+
+    std::uint32_t linesPerRow_;
+    std::uint32_t cas_;
+    std::uint32_t ras_;
+    std::uint32_t precharge_;
+    std::uint32_t busCycles_;
+
+    std::vector<Bank> banks_;
+    Bus bus_;
+    DramStats stats_;
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_MEMORY_DRAM_HH

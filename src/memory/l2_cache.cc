@@ -1,0 +1,135 @@
+#include "memory/l2_cache.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+L2Cache::L2Cache(const SimConfig &cfg, Dram &dram)
+    : assoc_(cfg.l2Assoc),
+      latency_(cfg.l2Latency),
+      // With the perfect L2 in force MemorySystem never routes an
+      // access here, so don't pay for the (possibly large) tag array.
+      ways_(cfg.perfectL2 ? 0
+                          : std::size_t(cfg.l2Bytes / cfg.l1LineBytes)),
+      portFreeAt_(cfg.l2Ports, 0),
+      mshrFreeAt_(cfg.l2Mshrs, 0),
+      dram_(dram)
+{
+    const std::uint32_t sets =
+        cfg.l2Bytes / (cfg.l1LineBytes * cfg.l2Assoc);
+    MTDAE_ASSERT((sets & (sets - 1)) == 0,
+                 "L2 set count must be a power of two");
+    setMask_ = sets - 1;
+}
+
+Cycle
+L2Cache::acquirePort(Cycle t)
+{
+    // Pipelined ports: each accepts one new access per cycle. Take the
+    // earliest-free slot; the access starts when both the request and
+    // the port are ready.
+    auto slot = std::min_element(portFreeAt_.begin(), portFreeAt_.end());
+    const Cycle start = std::max(t, *slot);
+    *slot = start + 1;
+    return start;
+}
+
+std::size_t
+L2Cache::earliestMshr() const
+{
+    return std::size_t(std::min_element(mshrFreeAt_.begin(),
+                                        mshrFreeAt_.end()) -
+                       mshrFreeAt_.begin());
+}
+
+L2Cache::Way *
+L2Cache::lookup(std::uint64_t line_addr)
+{
+    Way *base = &ways_[std::size_t(setOf(line_addr)) * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w)
+        if (base[w].valid && base[w].lineAddr == line_addr)
+            return &base[w];
+    return nullptr;
+}
+
+L2Cache::Way &
+L2Cache::victimIn(std::uint32_t set)
+{
+    Way *base = &ways_[std::size_t(set) * assoc_];
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lruTick < victim->lruTick)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+Cycle
+L2Cache::read(std::uint64_t line_addr, Cycle earliest)
+{
+    const Cycle start = acquirePort(earliest);
+    const Cycle tag_done = start + latency_;
+
+    if (Way *way = lookup(line_addr)) {
+        // Hit — possibly on a line whose DRAM fill is still in flight
+        // (the analytic form of merging into the L2's MSHR).
+        way->lruTick = ++lruClock_;
+        stats_.miss.event(false);
+        if (way->readyAt > tag_done) {
+            stats_.delayedHits += 1;
+            return way->readyAt;
+        }
+        return tag_done;
+    }
+
+    // Miss: wait for a free MSHR, evict the LRU victim (writing it back
+    // to DRAM if dirty), and fetch the line from DRAM.
+    stats_.miss.event(true);
+    const std::size_t slot = earliestMshr();
+    const Cycle miss_start = std::max(tag_done, mshrFreeAt_[slot]);
+
+    Way &victim = victimIn(setOf(line_addr));
+    if (victim.valid && victim.dirty) {
+        dram_.write(victim.lineAddr, miss_start);
+        stats_.writebacks += 1;
+    }
+
+    const Cycle fill_done = dram_.read(line_addr, miss_start);
+    mshrFreeAt_[slot] = fill_done;
+
+    victim.lineAddr = line_addr;
+    victim.valid = true;
+    victim.dirty = false;
+    victim.readyAt = fill_done;
+    victim.lruTick = ++lruClock_;
+    return fill_done;
+}
+
+void
+L2Cache::writeback(std::uint64_t line_addr, Cycle earliest)
+{
+    const Cycle start = acquirePort(earliest);
+    if (Way *way = lookup(line_addr)) {
+        way->dirty = true;
+        way->lruTick = ++lruClock_;
+        stats_.wbAbsorbed += 1;
+        return;
+    }
+    // The L1 held the only copy (the L2 evicted its own since): forward
+    // the line straight to DRAM without allocating.
+    dram_.write(line_addr, start + latency_);
+    stats_.wbForwarded += 1;
+}
+
+void
+L2Cache::resetStats()
+{
+    stats_.reset();
+}
+
+} // namespace mtdae

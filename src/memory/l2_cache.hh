@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The finite, set-associative, write-back L2 cache between the
+ * lockup-free L1 and the DRAM backend. It has its own pipelined ports,
+ * its own MSHRs bounding outstanding DRAM fills, LRU replacement, and
+ * it generates write-back traffic of its own when dirty victims leave.
+ *
+ * Like the L1, timing is analytic: an access computes its completion
+ * cycle immediately from port, array, MSHR and DRAM reservations
+ * (docs/MEMORY.md §3). Lines are installed in the tag array at miss
+ * time with a readyAt timestamp; an access that finds a line whose fill
+ * is still in flight is a *delayed hit* and completes when the fill
+ * lands — the analytic equivalent of merging into an L2 MSHR.
+ */
+
+#ifndef MTDAE_MEMORY_L2_CACHE_HH
+#define MTDAE_MEMORY_L2_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/dram.hh"
+
+namespace mtdae {
+
+/**
+ * L2 statistics. The miss ratio counts demand fills from the L1;
+ * delayed hits (merged into an in-flight fill) count as hits, matching
+ * the L1's lockup-free accounting.
+ */
+struct L2Stats
+{
+    RatioStat miss;                  ///< num = misses, den = L1 fills.
+    std::uint64_t delayedHits = 0;   ///< Hits on still-in-flight fills.
+    std::uint64_t writebacks = 0;    ///< Dirty L2 victims sent to DRAM.
+    std::uint64_t wbAbsorbed = 0;    ///< L1 write-backs that hit the L2.
+    std::uint64_t wbForwarded = 0;   ///< L1 write-backs missing the L2,
+                                     ///< forwarded to DRAM unallocated.
+
+    void
+    reset()
+    {
+        miss.reset();
+        delayedHits = 0;
+        writebacks = 0;
+        wbAbsorbed = 0;
+        wbForwarded = 0;
+    }
+};
+
+/**
+ * The unified L2. Owned by MemorySystem; bypassed entirely when
+ * SimConfig::perfectL2 is set.
+ */
+class L2Cache
+{
+  public:
+    /** @param dram the backend; must outlive this cache */
+    L2Cache(const SimConfig &cfg, Dram &dram);
+
+    /**
+     * Service an L1 fill request for @p line_addr.
+     *
+     * @param earliest cycle the request leaves the L1 (miss cycle)
+     * @return the cycle the line is available at the L2's output,
+     *         ready to cross the L1-L2 bus
+     */
+    Cycle read(std::uint64_t line_addr, Cycle earliest);
+
+    /**
+     * Absorb a dirty L1 victim. @p earliest is the cycle the line has
+     * fully crossed the L1-L2 bus. Hits mark the L2 line dirty; misses
+     * forward the line to DRAM as a write (no allocation — the L1 held
+     * the only copy). Nothing waits on the result.
+     */
+    void writeback(std::uint64_t line_addr, Cycle earliest);
+
+    /** Aggregate statistics. */
+    const L2Stats &stats() const { return stats_; }
+
+    /** Reset statistics (start of the measured interval). */
+    void resetStats();
+
+    /** Set index of a line address (for tests). */
+    std::uint32_t setOf(std::uint64_t line_addr) const
+    {
+        return static_cast<std::uint32_t>(line_addr & setMask_);
+    }
+
+  private:
+    struct Way
+    {
+        std::uint64_t lineAddr = 0;  ///< Full line address (tag).
+        bool valid = false;
+        bool dirty = false;
+        Cycle readyAt = 0;    ///< Fill completion; hits before this
+                              ///< cycle are delayed hits.
+        std::uint64_t lruTick = 0;  ///< Last-touch counter for LRU.
+    };
+
+    /** Earliest cycle a pipelined port accepts a request at @p t. */
+    Cycle acquirePort(Cycle t);
+
+    /** Earliest cycle an MSHR is free at @p t; reserve it to @p until
+     *  by the caller updating the returned slot. */
+    std::size_t earliestMshr() const;
+
+    Way *lookup(std::uint64_t line_addr);
+    Way &victimIn(std::uint32_t set);
+
+    std::uint32_t assoc_;
+    std::uint32_t latency_;
+    std::uint64_t setMask_;
+
+    std::vector<Way> ways_;          ///< sets * assoc, set-major.
+    std::vector<Cycle> portFreeAt_;  ///< One slot per port.
+    std::vector<Cycle> mshrFreeAt_;  ///< One slot per MSHR.
+    std::uint64_t lruClock_ = 0;
+
+    Dram &dram_;
+    L2Stats stats_;
+};
+
+} // namespace mtdae
+
+#endif // MTDAE_MEMORY_L2_CACHE_HH

@@ -12,8 +12,11 @@ MemorySystem::MemorySystem(const SimConfig &cfg)
       l1HitLatency_(cfg.l1HitLatency),
       l2Latency_(cfg.l2Latency),
       transferCycles_(cfg.lineTransferCycles()),
+      perfectL2_(cfg.perfectL2),
       lines_(cfg.l1Bytes / cfg.l1LineBytes),
-      mshrs_(cfg.mshrs)
+      mshrs_(cfg.mshrs),
+      dram_(cfg),
+      l2_(cfg, dram_)
 {
     const std::uint32_t frames = cfg.l1Bytes / cfg.l1LineBytes;
     MTDAE_ASSERT((frames & (frames - 1)) == 0,
@@ -134,14 +137,21 @@ MemorySystem::access(Addr addr, bool is_store, Cycle now)
     // Dirty victim: schedule its write-back transfer on the shared bus
     // ahead of the fill (the victim leaves before the new line arrives).
     if (l1.valid && l1.dirty) {
-        bus_.reserve(now, transferCycles_);
+        const Cycle wb_crossed = bus_.reserve(now, transferCycles_);
+        if (!perfectL2_)
+            l2_.writeback((l1.tag << frameBits_) | frame, wb_crossed);
         stats_.writebacks += 1;
     }
 
-    // Fill: the L2 (infinite, multibanked) produces the line after its
-    // access latency; the bus then carries it, FIFO with other transfers.
-    const Cycle fill_done =
-        bus_.reserve(now + l2Latency_, transferCycles_);
+    // Fill. Perfect L2 (the paper's model): the line is produced after
+    // exactly the L2 access latency. Finite backend: the L2 services
+    // the request — possibly all the way out to DRAM — and hands the
+    // line over when it reaches the L2's output. Either way the L1-L2
+    // bus then carries it, FIFO with other transfers.
+    const Cycle backend_ready =
+        perfectL2_ ? now + l2Latency_ : l2_.read(line, now);
+    const Cycle fill_done = bus_.reserve(backend_ready, transferCycles_);
+    stats_.fillLatencySum += fill_done - now;
 
     m->valid = true;
     m->lineAddr = line;
@@ -169,6 +179,8 @@ MemorySystem::resetStats(Cycle now)
 {
     stats_.reset();
     bus_.resetStats(now);
+    l2_.resetStats();
+    dram_.resetStats(now);
 }
 
 } // namespace mtdae

@@ -2,12 +2,18 @@
  * @file
  * The data memory hierarchy of the simulated machine: a direct-mapped,
  * write-back, write-allocate, lockup-free L1 with a fixed number of MSHRs
- * and ports, backed by an infinite multibanked L2 across a shared bus.
+ * and ports, backed over a shared bus by either the paper's perfect L2
+ * (never misses, fixed l2Latency) or — when SimConfig::perfectL2 is
+ * false — a finite, set-associative, write-back L2 (memory/l2_cache.hh)
+ * in front of a banked DRAM with row buffers (memory/dram.hh).
  *
- * Timing model (documented in DESIGN.md §5): an L1 miss costs the L2
- * latency, plus bus queueing, plus the line transfer (lineBytes /
- * busBytesPerCycle cycles); a dirty eviction occupies the bus for one
- * further line transfer. The L2 itself never misses, per the paper.
+ * Timing model (documented cycle by cycle in docs/MEMORY.md §2): an L1
+ * miss costs the backend's fill latency plus L1-L2 bus queueing plus
+ * the line transfer (lineBytes / busBytesPerCycle cycles); a dirty
+ * eviction occupies the bus for one further line transfer. With the
+ * perfect L2 the fill latency is exactly l2Latency; with the finite
+ * backend it emerges from L2 ports/MSHRs/contents and DRAM timing
+ * (docs/MEMORY.md §3-4).
  */
 
 #ifndef MTDAE_MEMORY_MEMORY_SYSTEM_HH
@@ -20,6 +26,8 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "memory/bus.hh"
+#include "memory/dram.hh"
+#include "memory/l2_cache.hh"
 
 namespace mtdae {
 
@@ -58,6 +66,9 @@ struct MemStats
     std::uint64_t mergedMisses = 0;  ///< Secondary misses merged in MSHRs.
     std::uint64_t writebacks = 0;    ///< Dirty lines written to L2.
     std::uint64_t rejects = 0;       ///< Structural rejections (retries).
+    /** Sum over primary misses of (fill completion - access cycle):
+     *  the emergent end-to-end miss latency numerator. */
+    std::uint64_t fillLatencySum = 0;
 
     /** Combined load+store miss ratio. */
     double
@@ -65,6 +76,14 @@ struct MemStats
     {
         const std::uint64_t den = loadMiss.den + storeMiss.den;
         return den ? double(loadMiss.num + storeMiss.num) / den : 0.0;
+    }
+
+    /** Average L1-miss fill latency in cycles (0 without misses). */
+    double
+    avgFillLatency() const
+    {
+        const std::uint64_t misses = loadMiss.num + storeMiss.num;
+        return misses ? double(fillLatencySum) / double(misses) : 0.0;
     }
 
     void
@@ -75,6 +94,7 @@ struct MemStats
         mergedMisses = 0;
         writebacks = 0;
         rejects = 0;
+        fillLatencySum = 0;
     }
 };
 
@@ -103,11 +123,27 @@ class MemorySystem
     /** Number of MSHRs currently in flight. */
     std::uint32_t mshrsInUse() const { return mshrsInUse_; }
 
-    /** Aggregate statistics. */
+    /** Aggregate L1 statistics. */
     const MemStats &stats() const { return stats_; }
 
-    /** Bus utilisation over the current statistics interval. */
+    /** L2 statistics (all-zero while the perfect L2 is in force). */
+    const L2Stats &l2Stats() const { return l2_.stats(); }
+
+    /** DRAM statistics (all-zero while the perfect L2 is in force). */
+    const DramStats &dramStats() const { return dram_.stats(); }
+
+    /** True when the paper's perfect L2 backs the L1. */
+    bool perfectL2() const { return perfectL2_; }
+
+    /** L1-L2 bus utilisation over the current statistics interval. */
     double busUtilization(Cycle now) const { return bus_.utilization(now); }
+
+    /** DRAM data bus utilisation over the statistics interval. */
+    double
+    dramBusUtilization(Cycle now) const
+    {
+        return dram_.busUtilization(now);
+    }
 
     /** Reset statistics (start of the measured interval). */
     void resetStats(Cycle now);
@@ -152,6 +188,7 @@ class MemorySystem
     std::uint32_t l1HitLatency_;
     std::uint32_t l2Latency_;
     std::uint32_t transferCycles_;
+    bool perfectL2_;
 
     std::vector<Line> lines_;
     std::vector<Mshr> mshrs_;
@@ -160,6 +197,8 @@ class MemorySystem
     Cycle currentCycle_ = 0;
 
     Bus bus_;
+    Dram dram_;
+    L2Cache l2_;
     MemStats stats_;
     MemReject lastReject_ = MemReject::None;
 };

@@ -3,7 +3,8 @@
  * Kernel: a loop-body description from which dynamic traces are expanded.
  *
  * This is the substitution for the paper's ATOM-instrumented Alpha
- * binaries (DESIGN.md §2): a kernel captures the three properties the
+ * binaries (see "Big picture" in docs/ARCHITECTURE.md): a kernel
+ * captures the three properties the
  * paper's metrics depend on — instruction mix, register dependence
  * structure (in particular between address computation and FP
  * computation), and memory access patterns — as a compact loop body with

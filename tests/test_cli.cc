@@ -109,7 +109,7 @@ TEST(CliParse, EveryDocumentedKeyIsSettable)
     std::string error;
     for (const auto &key : cli::overrideKeys()) {
         const std::string value =
-            key == "decoupled" ? "true"
+            key == "decoupled" || key == "perfect-l2" ? "true"
             : key == "predictor" ? "gshare" : "8";
         EXPECT_TRUE(cli::applyOverride(cfg, key, value, error))
             << key << ": " << error;
@@ -119,11 +119,71 @@ TEST(CliParse, EveryDocumentedKeyIsSettable)
 TEST(CliRegistry, PaperExperimentsRegistered)
 {
     for (const char *name : {"run", "fig1", "fig3", "fig4", "fig5",
-                             "ablate-iq", "ablate-mshrs"})
+                             "fig4-dram", "ablate-l2", "ablate-iq",
+                             "ablate-mshrs"})
         EXPECT_TRUE(cli::isExperiment(name)) << name;
     EXPECT_FALSE(cli::isExperiment("fig2"));
     EXPECT_FALSE(cli::isExperiment(""));
-    EXPECT_GE(cli::experiments().size(), 10u);
+    EXPECT_GE(cli::experiments().size(), 12u);
+}
+
+TEST(CliDriver, PerfectL2FlagReproducesFixedLatencyModelByteForByte)
+{
+    // The paper-model experiments default to the perfect L2, and
+    // tests/test_l2.cc pins that model to the pre-finite-L2 timing
+    // formula — so flag and default must be byte-identical output.
+    const std::vector<std::string> common = {
+        "fig4",           "--insts=800",         "--warmup=200",
+        "--quiet",        "--json",              "--seed=7",
+        "--threads-list=1,2", "--latencies=1,64"};
+    std::ostringstream out1, err1, out2, err2;
+    ASSERT_EQ(cli::runCli(common, out1, err1), 0);
+    auto with_flag = common;
+    with_flag.push_back("--perfect-l2");
+    ASSERT_EQ(cli::runCli(with_flag, out2, err2), 0);
+    EXPECT_EQ(out1.str(), out2.str());
+    EXPECT_FALSE(out1.str().empty());
+}
+
+TEST(CliDriver, BarePerfectL2FlagParses)
+{
+    cli::Options opts;
+    std::string error;
+    ASSERT_TRUE(cli::parseArgs({"run", "--perfect-l2"}, opts, error))
+        << error;
+    SimConfig cfg;
+    cfg.perfectL2 = false;
+    ASSERT_TRUE(cli::applyOverrides(cfg, opts, error)) << error;
+    EXPECT_TRUE(cfg.perfectL2);
+}
+
+TEST(CliDriver, AblateL2RunsOnTheRealBackend)
+{
+    std::ostringstream out, err;
+    const int rc = cli::runCli({"ablate-l2", "--insts=400",
+                                "--warmup=100", "--quiet", "--json",
+                                "--threads-list=1"},
+                               out, err);
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.str().find("\"experiment\": \"ablate_l2\""),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"l2_miss\""), std::string::npos);
+    // The l2_kb = 0 perfect-L2 reference row rides along.
+    EXPECT_NE(out.str().find("\"l2_kb\": 0"), std::string::npos);
+}
+
+TEST(CliDriver, Fig4DramSweepsDramSlowdowns)
+{
+    std::ostringstream out, err;
+    const int rc = cli::runCli({"fig4-dram", "--insts=400",
+                                "--warmup=100", "--quiet", "--json",
+                                "--threads-list=1", "--latencies=1,4"},
+                               out, err);
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.str().find("\"experiment\": \"fig4_dram\""),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"dram_scale\": 4"), std::string::npos);
+    EXPECT_NE(out.str().find("\"avg_fill\""), std::string::npos);
 }
 
 TEST(CliDriver, UnknownExperimentFailsWithUsageHint)

@@ -2,7 +2,8 @@
  * @file
  * Unit tests for the kernel DSL and the ten SPEC FP95 benchmark models:
  * structural validation, instruction-mix census, and the per-model
- * behavioural signatures DESIGN.md promises.
+ * behavioural signatures the workload layer promises (see the
+ * src/workload/kernel.hh header comment).
  */
 
 #include <gtest/gtest.h>

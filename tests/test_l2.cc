@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the finite L2 and its integration into MemorySystem:
+ * hit/miss/delayed-hit timing, LRU replacement within a set, dirty
+ * write-backs to DRAM, L1-write-back absorption/forwarding, L2 MSHR
+ * exhaustion queueing, port contention, the perfect-L2 escape hatch's
+ * fixed-latency regression, and the emergent end-to-end fill latency.
+ *
+ * The test machine: 8 KB 2-way L2 (128 sets of 32 B lines), latency 16,
+ * 2 ports, 2 MSHRs, over the test_dram.cc DRAM (2 banks, RAS 30,
+ * CAS 20, precharge 20, 4 bus cycles). A cold L2 read at cycle 0:
+ *   port 0 + tag 16 -> DRAM activate+CAS at 16..66 -> data bus -> 70.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+#include "memory/dram.hh"
+#include "memory/l2_cache.hh"
+#include "memory/memory_system.hh"
+
+using namespace mtdae;
+
+namespace {
+
+SimConfig
+l2Config()
+{
+    SimConfig cfg;
+    cfg.perfectL2 = false;
+    cfg.l2Bytes = 8 * 1024;  // 128 sets x 2 ways x 32 B
+    cfg.l2Assoc = 2;
+    cfg.l2Ports = 2;
+    cfg.l2Mshrs = 2;
+    cfg.l2Latency = 16;
+    cfg.dramBanks = 2;
+    cfg.dramRowBytes = 4096;
+    cfg.dramCas = 20;
+    cfg.dramRas = 30;
+    cfg.dramPrecharge = 20;
+    cfg.dramBusCycles = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(L2Cache, ColdMissFetchesFromDram)
+{
+    Dram dram(l2Config());
+    L2Cache l2(l2Config(), dram);
+    // port 0, tag done 16, DRAM cold read 16+50 = 66, bus -> 70.
+    EXPECT_EQ(l2.read(0, 0), 70u);
+    EXPECT_EQ(l2.stats().miss.num, 1u);
+    EXPECT_EQ(dram.stats().reads, 1u);
+}
+
+TEST(L2Cache, HitCostsPortPlusLatency)
+{
+    Dram dram(l2Config());
+    L2Cache l2(l2Config(), dram);
+    (void)l2.read(0, 0);
+    EXPECT_EQ(l2.read(0, 100), 116u);  // resident: tag/array only
+    EXPECT_EQ(l2.stats().miss.num, 1u);
+    EXPECT_EQ(l2.stats().miss.den, 2u);
+    EXPECT_EQ(dram.stats().reads, 1u);  // no second DRAM trip
+}
+
+TEST(L2Cache, DelayedHitMergesIntoInFlightFill)
+{
+    Dram dram(l2Config());
+    L2Cache l2(l2Config(), dram);
+    const Cycle fill = l2.read(0, 0);
+    // One cycle later the same line is requested again: it rides the
+    // in-flight fill instead of issuing a second DRAM read.
+    EXPECT_EQ(l2.read(0, 1), fill);
+    EXPECT_EQ(l2.stats().delayedHits, 1u);
+    EXPECT_EQ(dram.stats().reads, 1u);
+}
+
+TEST(L2Cache, LruReplacementWithinSet)
+{
+    Dram dram(l2Config());
+    L2Cache l2(l2Config(), dram);
+    // Lines 0, 128, 256 all map to set 0 of the 2-way cache.
+    ASSERT_EQ(l2.setOf(0), l2.setOf(128));
+    ASSERT_EQ(l2.setOf(0), l2.setOf(256));
+    (void)l2.read(0, 0);
+    (void)l2.read(128, 1000);
+    (void)l2.read(0, 2000);    // touch 0: 128 becomes LRU
+    (void)l2.read(256, 3000);  // evicts 128
+    EXPECT_EQ(l2.read(0, 4000), 4016u);  // still resident
+    (void)l2.read(128, 5000);  // evicted: must miss again
+    EXPECT_EQ(l2.stats().miss.num, 4u);
+    EXPECT_EQ(dram.stats().reads, 4u);
+}
+
+TEST(L2Cache, DirtyVictimWritesBackToDram)
+{
+    Dram dram(l2Config());
+    L2Cache l2(l2Config(), dram);
+    (void)l2.read(0, 0);
+    l2.writeback(0, 1000);  // the L1 returns the line dirty
+    EXPECT_EQ(l2.stats().wbAbsorbed, 1u);
+    EXPECT_EQ(dram.stats().writes, 0u);  // dirty data still in the L2
+    (void)l2.read(128, 2000);
+    (void)l2.read(256, 3000);  // set 0 overflows: dirty line 0 leaves
+    EXPECT_EQ(l2.stats().writebacks, 1u);
+    EXPECT_EQ(dram.stats().writes, 1u);
+}
+
+TEST(L2Cache, WritebackMissForwardsToDramUnallocated)
+{
+    Dram dram(l2Config());
+    L2Cache l2(l2Config(), dram);
+    l2.writeback(999, 0);  // nothing resident: straight to DRAM
+    EXPECT_EQ(l2.stats().wbForwarded, 1u);
+    EXPECT_EQ(dram.stats().writes, 1u);
+    EXPECT_EQ(dram.stats().reads, 0u);  // no pointless fill
+}
+
+TEST(L2Cache, MshrExhaustionQueuesTheNextMiss)
+{
+    SimConfig cfg = l2Config();
+    cfg.l2Mshrs = 1;
+    Dram dram(cfg);
+    L2Cache l2(cfg, dram);
+    EXPECT_EQ(l2.read(0, 0), 70u);  // holds the only MSHR until 70
+    // Line 129 (set 1, DRAM bank 1) misses at the same cycle but must
+    // wait for the MSHR: DRAM access starts at 70, not 16.
+    EXPECT_EQ(l2.read(129, 0), 124u);
+    // With 2 MSHRs it would have been 16 + 50 = 66, bus-queued to 74.
+}
+
+TEST(L2Cache, SinglePortSerializesSameCycleAccesses)
+{
+    SimConfig cfg = l2Config();
+    cfg.l2Ports = 1;
+    Dram dram(cfg);
+    L2Cache l2(cfg, dram);
+    (void)l2.read(0, 0);
+    const Cycle a = l2.read(0, 1000);
+    const Cycle b = l2.read(0, 1000);  // same cycle: port busy 1 cycle
+    EXPECT_EQ(a, 1016u);
+    EXPECT_EQ(b, 1017u);
+}
+
+TEST(MemorySystem, RealBackendFillEndToEnd)
+{
+    MemorySystem mem(l2Config());
+    mem.beginCycle(0);
+    const MemResult r = mem.load(0x0, 0);
+    ASSERT_TRUE(r.miss());
+    // L2 cold miss lands at 70, then 2 cycles of L1-L2 bus transfer.
+    EXPECT_EQ(r.readyAt, 72u);
+    EXPECT_EQ(mem.l2Stats().miss.num, 1u);
+    EXPECT_EQ(mem.dramStats().reads, 1u);
+    EXPECT_NEAR(mem.stats().avgFillLatency(), 72.0, 1e-9);
+}
+
+TEST(MemorySystem, PerfectL2MatchesPrePrFixedLatencyModel)
+{
+    // The escape hatch must reproduce the pre-finite-L2 model exactly:
+    // a miss costs l2Latency + line transfer, and neither the L2 nor
+    // the DRAM sees any traffic.
+    SimConfig cfg;  // perfectL2 defaults to true
+    ASSERT_TRUE(cfg.perfectL2);
+    MemorySystem mem(cfg);
+    mem.beginCycle(0);
+    EXPECT_EQ(mem.load(0x1000, 0).readyAt, 18u);  // 16 + 32/16
+    mem.beginCycle(1);
+    // Second miss at cycle 1: L2-ready at 17 but the bus carries the
+    // first fill until 18, so the transfer queues FIFO: done at 20.
+    EXPECT_EQ(mem.load(0x2000, 1).readyAt, 20u);
+    EXPECT_EQ(mem.l2Stats().miss.den, 0u);
+    EXPECT_EQ(mem.dramStats().reads, 0u);
+    EXPECT_EQ(mem.dramStats().writes, 0u);
+}
+
+TEST(MemorySystem, DirtyL1VictimFlowsIntoL2)
+{
+    SimConfig cfg = l2Config();
+    MemorySystem mem(cfg);
+    mem.beginCycle(0);
+    (void)mem.store(0x0, 0);  // write-allocate; line 0 fills dirty
+    for (Cycle c = 1; c <= 100; ++c)
+        mem.beginCycle(c);
+    // 0x10000 shares L1 frame 0: the dirty victim crosses the L1-L2
+    // bus and is absorbed by the L2 (line 0 is resident there).
+    ASSERT_TRUE(mem.load(0x10000, 100).miss());
+    EXPECT_EQ(mem.stats().writebacks, 1u);
+    EXPECT_EQ(mem.l2Stats().wbAbsorbed, 1u);
+    EXPECT_EQ(mem.dramStats().writes, 0u);
+}
+
+TEST(MemorySystem, EmergentLatencyGrowsWithSlowerDram)
+{
+    SimConfig slow = l2Config();
+    slow.dramCas *= 8;
+    slow.dramRas *= 8;
+    slow.dramPrecharge *= 8;
+    MemorySystem fast(l2Config()), mem(slow);
+    fast.beginCycle(0);
+    mem.beginCycle(0);
+    const Cycle f = fast.load(0x0, 0).readyAt;
+    const Cycle s = mem.load(0x0, 0).readyAt;
+    EXPECT_GT(s, f);  // latency emerges from DRAM timing, not a knob
+    EXPECT_EQ(s, 16u + 8u * 50u + 4u + 2u);
+}
+
+TEST(Simulator, RealBackendPopulatesPerLevelStats)
+{
+    SimConfig cfg = paperConfig(2, true, 16);
+    cfg.perfectL2 = false;
+    cfg.warmupInsts = 500;
+    const RunResult r = runSuiteMix(cfg, 3000);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.avgFillLatency, 0.0);
+    EXPECT_GT(r.l2MissRatio, 0.0);
+    EXPECT_GE(r.dramRowHitRatio, 0.0);
+    EXPECT_LE(r.dramRowHitRatio, 1.0);
+    EXPECT_GT(r.dramBusUtilization, 0.0);
+}
+
+TEST(Simulator, PerfectL2LeavesBackendSilent)
+{
+    SimConfig cfg = paperConfig(1, true, 16);
+    cfg.warmupInsts = 500;
+    const RunResult r = runSuiteMix(cfg, 3000);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.avgFillLatency, 0.0);  // the fixed-latency fills
+    EXPECT_EQ(r.l2MissRatio, 0.0);
+    EXPECT_EQ(r.dramBusUtilization, 0.0);
+}

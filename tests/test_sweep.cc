@@ -60,6 +60,10 @@ expectSameResult(const RunResult &a, const RunResult &b,
     EXPECT_EQ(a.missRatio, b.missRatio) << what;
     EXPECT_EQ(a.mergedRatio, b.mergedRatio) << what;
     EXPECT_EQ(a.busUtilization, b.busUtilization) << what;
+    EXPECT_EQ(a.avgFillLatency, b.avgFillLatency) << what;
+    EXPECT_EQ(a.l2MissRatio, b.l2MissRatio) << what;
+    EXPECT_EQ(a.dramRowHitRatio, b.dramRowHitRatio) << what;
+    EXPECT_EQ(a.dramBusUtilization, b.dramBusUtilization) << what;
     EXPECT_EQ(a.mispredictRate, b.mispredictRate) << what;
     EXPECT_EQ(a.ap.counts, b.ap.counts) << what;
     EXPECT_EQ(a.ep.counts, b.ep.counts) << what;
@@ -137,6 +141,29 @@ TEST(JobRunner, SerialAndParallelAreBitIdentical)
     for (std::size_t i = 0; i < spec.size(); ++i)
         expectSameResult(serial[i], parallel[i],
                          "job " + spec.jobs()[i].label);
+}
+
+TEST(JobRunner, RealMemoryBackendIsBitIdenticalToo)
+{
+    // Same guarantee with the finite L2 + DRAM backend: its emergent
+    // stats (avg fill, L2 miss, row hits, DRAM bus) are reservation
+    // arithmetic inside the job, never shared across workers.
+    SweepSpec spec;
+    for (const std::uint32_t n : {1u, 2u}) {
+        SimConfig cfg = tinyCfg(n, 16);
+        cfg.perfectL2 = false;
+        spec.addSuiteMix(cfg, 3000 * n,
+                         std::to_string(n) + "T real backend");
+    }
+    const std::vector<RunResult> serial = JobRunner(1).run(spec);
+    const std::vector<RunResult> parallel = JobRunner(8).run(spec);
+    ASSERT_EQ(parallel.size(), spec.size());
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        expectSameResult(serial[i], parallel[i],
+                         "job " + spec.jobs()[i].label);
+        EXPECT_GT(serial[i].avgFillLatency, 0.0);
+        EXPECT_GT(serial[i].l2MissRatio, 0.0);
+    }
 }
 
 TEST(JobRunner, ResultsArriveInGridOrder)
