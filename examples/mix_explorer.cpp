@@ -7,6 +7,11 @@
  * and bus behaviour.
  *
  * Usage: mix_explorer [threads] [l2_latency] [decoupled 0|1] [insts]
+ *                     [fetch_policy] [issue_policy]
+ *
+ * The policy arguments take the names `mtdae help` lists for
+ * --fetch-policy / --issue-policy (icount, round-robin, brcount,
+ * misscount), e.g.: mix_explorer 4 64 1 0 icount misscount
  */
 
 #include <cstdlib>
@@ -26,17 +31,30 @@ main(int argc, char **argv)
     const std::uint32_t l2 =
         argc > 2 ? std::uint32_t(std::atoi(argv[2])) : 16;
     const bool decoupled = argc > 3 ? std::atoi(argv[3]) != 0 : true;
-    const std::uint64_t insts =
-        argc > 4 ? std::strtoull(argv[4], nullptr, 10)
-                 : instsBudget(150000) * threads;
+    std::uint64_t insts = argc > 4
+        ? std::strtoull(argv[4], nullptr, 10) : 0;
+    if (insts == 0)
+        insts = instsBudget(150000) * threads;
 
-    const SimConfig cfg = paperConfig(threads, decoupled, l2);
+    SimConfig cfg = paperConfig(threads, decoupled, l2);
+    for (int i : {5, 6}) {
+        if (argc <= i)
+            break;
+        PolicyKind &slot = i == 5 ? cfg.fetchPolicy : cfg.issuePolicy;
+        if (!parsePolicy(argv[i], slot)) {
+            std::cerr << "mix_explorer: unknown policy '" << argv[i]
+                      << "' (try icount, round-robin, brcount,"
+                         " misscount)\n";
+            return 2;
+        }
+    }
     const RunResult r = runSuiteMix(cfg, insts);
 
     std::cout << std::fixed << std::setprecision(3);
     std::cout << "machine: " << threads << " thread(s), L2=" << l2
               << " cycles, " << (decoupled ? "decoupled" : "non-decoupled")
-              << "\n"
+              << ", fetch=" << policyName(cfg.fetchPolicy)
+              << ", issue=" << policyName(cfg.issuePolicy) << "\n"
               << "cycles=" << r.cycles << " insts=" << r.insts
               << " IPC=" << r.ipc << "\n"
               << "perceived miss latency: fp=" << r.perceivedFp

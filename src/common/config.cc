@@ -6,6 +6,46 @@
 
 namespace mtdae {
 
+const char *
+policyName(PolicyKind k)
+{
+    switch (k) {
+      case PolicyKind::Icount:
+        return "icount";
+      case PolicyKind::RoundRobin:
+        return "round-robin";
+      case PolicyKind::BrCount:
+        return "brcount";
+      case PolicyKind::MissCount:
+        return "misscount";
+    }
+    MTDAE_PANIC("unreachable PolicyKind");
+}
+
+bool
+parsePolicy(const std::string &s, PolicyKind &out)
+{
+    for (const PolicyKind k : allPolicies()) {
+        if (s == policyName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<PolicyKind> &
+allPolicies()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Icount,
+        PolicyKind::RoundRobin,
+        PolicyKind::BrCount,
+        PolicyKind::MissCount,
+    };
+    return kinds;
+}
+
 SimConfig
 SimConfig::scaledForLatency(std::uint32_t l2_latency) const
 {

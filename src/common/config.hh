@@ -8,10 +8,35 @@
 #define MTDAE_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/types.hh"
 
 namespace mtdae {
+
+/**
+ * Thread-arbitration policies: how the shared front end and issue logic
+ * order the hardware contexts each cycle (src/policy/policy.hh). Every
+ * policy is a pure function of simulation state, so swept results stay
+ * byte-identical at any worker count.
+ */
+enum class PolicyKind : std::uint8_t {
+    Icount,      ///< Fewest buffered instructions first (the paper's
+                 ///< ICOUNT fetch; occupancy-balancing arbitration).
+    RoundRobin,  ///< Pure rotation, one step per cycle.
+    BrCount,     ///< Fewest unresolved conditional branches first.
+    MissCount,   ///< Fewest outstanding L1 load misses first.
+};
+
+/** CLI spelling of @p k ("icount", "round-robin", ...). */
+const char *policyName(PolicyKind k);
+
+/** Parse a CLI spelling; false when @p s names no policy. */
+bool parsePolicy(const std::string &s, PolicyKind &out);
+
+/** Every policy, in registry/display order. */
+const std::vector<PolicyKind> &allPolicies();
 
 /**
  * Full machine configuration. Defaults reproduce the paper's Figure 2:
@@ -50,6 +75,17 @@ struct SimConfig
     std::uint32_t fetchBufferSize = 16;
     /** Total dispatch (rename) width per cycle, shared by all threads. */
     std::uint32_t dispatchWidth = 8;
+    /**
+     * Thread order for fetch-port arbitration. The default, Icount,
+     * reproduces the paper's RR-2.8 ICOUNT scheme: candidates rotate
+     * round-robin and are stably sorted by fetch-buffer occupancy.
+     */
+    PolicyKind fetchPolicy = PolicyKind::Icount;
+    /**
+     * Thread visit order for the shared dispatch stage and for each
+     * issue unit (the paper's machine is RoundRobin in all three).
+     */
+    PolicyKind issuePolicy = PolicyKind::RoundRobin;
     /** Max unresolved branches per thread (AP control speculation). */
     std::uint32_t maxUnresolvedBranches = 4;
     /** Extra cycles from branch resolution to fetch restart. */

@@ -113,6 +113,23 @@ Context::stallSource(const DynInst &di, std::uint32_t &tok) const
     return kind;
 }
 
+ThreadState
+Context::policyState(const SimConfig &cfg, Cycle now) const
+{
+    ThreadState s;
+    s.tid = tid;
+    s.fetchBufOccupancy = std::uint32_t(fetchBuf.size());
+    s.apQueueOccupancy = std::uint32_t(apQ.size());
+    s.iqOccupancy = std::uint32_t(iq.size());
+    s.robOccupancy = std::uint32_t(rob.size());
+    s.unresolvedBranches = unresolvedBranches;
+    s.outstandingMisses = perceived.outstanding();
+    s.fetchEligible = !fetchBlocked && now >= fetchResumeAt &&
+                      (!traceDone || hasPending) &&
+                      fetchBuf.size() < cfg.fetchBufferSize;
+    return s;
+}
+
 bool
 Context::saqForwards(InstSeq load_seq, Addr load_addr) const
 {

@@ -19,6 +19,7 @@
 #include "core/dyn_inst.hh"
 #include "core/perceived.hh"
 #include "isa/reg.hh"
+#include "policy/policy.hh"
 #include "workload/trace_source.hh"
 
 namespace mtdae {
@@ -195,6 +196,16 @@ struct Context
      * @return true when such a store exists (forwarding)
      */
     bool saqForwards(InstSeq load_seq, Addr load_addr) const;
+
+    /**
+     * Snapshot the occupancy/blocked state the arbitration policies
+     * are allowed to see (src/policy/policy.hh). Taken at the start of
+     * each consulting pipeline stage.
+     *
+     * @param cfg the configuration in force (fetch-buffer capacity)
+     * @param now current cycle (redirect-gate check)
+     */
+    ThreadState policyState(const SimConfig &cfg, Cycle now) const;
 };
 
 } // namespace mtdae

@@ -44,6 +44,7 @@ class PerceivedTracker
             slots_.push_back({});
         }
         slots_[tok] = {0, is_int, true};
+        outstanding_ += 1;
         return tok;
     }
 
@@ -62,6 +63,8 @@ class PerceivedTracker
     {
         MTDAE_ASSERT(token < slots_.size() && slots_[token].active,
                      "double close of a perceived-latency token");
+        MTDAE_ASSERT(outstanding_ > 0, "outstanding-miss underflow");
+        outstanding_ -= 1;
         Slot &s = slots_[token];
         s.active = false;
         if (s.isInt) {
@@ -82,6 +85,10 @@ class PerceivedTracker
     std::uint64_t intMisses() const { return intMisses_; }
     /** Completed FP-load misses. */
     std::uint64_t fpMisses() const { return fpMisses_; }
+
+    /** Load misses currently in flight (the misscount policy key);
+     *  unaffected by resetStats(), like the open tokens themselves. */
+    std::uint32_t outstanding() const { return outstanding_; }
 
     /** Average perceived latency of integer-load misses. */
     double
@@ -115,6 +122,7 @@ class PerceivedTracker
 
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> free_;
+    std::uint32_t outstanding_ = 0;
     std::uint64_t intStalls_ = 0;
     std::uint64_t fpStalls_ = 0;
     std::uint64_t intMisses_ = 0;

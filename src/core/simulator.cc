@@ -1,14 +1,15 @@
 #include "core/simulator.hh"
 
-#include <algorithm>
-
 #include "common/log.hh"
 
 namespace mtdae {
 
 Simulator::Simulator(const SimConfig &cfg,
                      std::vector<std::unique_ptr<TraceSource>> sources)
-    : cfg_(cfg), mem_(cfg)
+    : cfg_(cfg),
+      mem_(cfg),
+      fetchPolicy_(makeFetchPolicy(cfg)),
+      issuePolicy_(makeArbitrationPolicy(cfg))
 {
     cfg_.validate();
     MTDAE_ASSERT(sources.size() == cfg_.numThreads,
@@ -17,6 +18,15 @@ Simulator::Simulator(const SimConfig &cfg,
     for (ThreadId t = 0; t < cfg_.numThreads; ++t)
         contexts_.push_back(
             std::make_unique<Context>(t, cfg_, std::move(sources[t])));
+    threadStates_.resize(cfg_.numThreads);
+}
+
+const std::vector<ThreadState> &
+Simulator::snapshotThreads()
+{
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t)
+        threadStates_[t] = contexts_[t]->policyState(cfg_, now_);
+    return threadStates_;
 }
 
 // ---------------------------------------------------------------------
@@ -125,12 +135,12 @@ Simulator::tryIssue(Context &ctx, DynInst &di)
 }
 
 std::uint32_t
-Simulator::issueUnit(Unit unit, std::uint32_t &slots)
+Simulator::issueUnit(Unit unit, const std::vector<ThreadId> &order,
+                     std::uint32_t &slots)
 {
-    const std::uint32_t nthreads = cfg_.numThreads;
     std::uint32_t issued = 0;
-    for (std::uint32_t i = 0; i < nthreads && slots > 0; ++i) {
-        Context &ctx = *contexts_[(rrIssue_ + i) % nthreads];
+    for (std::size_t i = 0; i < order.size() && slots > 0; ++i) {
+        Context &ctx = *contexts_[order[i]];
         auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
         while (slots > 0 && !queue.empty()) {
             DynInst *di = queue.front();
@@ -145,7 +155,8 @@ Simulator::issueUnit(Unit unit, std::uint32_t &slots)
 }
 
 void
-Simulator::accountSlots(Unit unit, std::uint32_t free_slots)
+Simulator::accountSlots(Unit unit, const std::vector<ThreadId> &order,
+                        std::uint32_t free_slots)
 {
     SlotBreakdown &bd = unit == Unit::AP ? slotsAp_ : slotsEp_;
     const std::uint32_t width =
@@ -154,12 +165,14 @@ Simulator::accountSlots(Unit unit, std::uint32_t free_slots)
     if (free_slots == 0)
         return;
 
-    // Classify each thread's head-of-queue stall, then spread the unused
-    // slots round-robin over the classifications (paper Figure 3).
+    // Classify each thread's head-of-queue stall, then spread the
+    // unused slots over the classifications (paper Figure 3), walking
+    // the *same* visit order the issue stage just used so the
+    // attribution can never drift from the arbitration.
     std::vector<SlotUse> reasons;
-    reasons.reserve(cfg_.numThreads);
-    for (std::uint32_t i = 0; i < cfg_.numThreads; ++i) {
-        Context &ctx = *contexts_[(rrIssue_ + i) % cfg_.numThreads];
+    reasons.reserve(order.size());
+    for (const ThreadId t : order) {
+        Context &ctx = *contexts_[t];
         auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
         if (queue.empty()) {
             // Nothing available: an idle or wrong-path-gated front end.
@@ -195,6 +208,12 @@ Simulator::accountSlots(Unit unit, std::uint32_t free_slots)
 void
 Simulator::issueStage()
 {
+    // Both units' visit orders come from one pre-stage snapshot and
+    // hold for the whole cycle (both passes and the slot accounting).
+    const auto &threads = snapshotThreads();
+    issuePolicy_->issueOrder(Unit::AP, threads, orderAp_);
+    issuePolicy_->issueOrder(Unit::EP, threads, orderEp_);
+
     std::uint32_t slots_ap = cfg_.apUnits;
     std::uint32_t slots_ep = cfg_.epUnits;
     // Two passes so that, in non-decoupled mode, an AP instruction
@@ -202,14 +221,13 @@ Simulator::issueStage()
     // dual-issue, as an in-order superscalar would.
     for (int pass = 0; pass < 2; ++pass) {
         std::uint32_t issued = 0;
-        issued += issueUnit(Unit::AP, slots_ap);
-        issued += issueUnit(Unit::EP, slots_ep);
+        issued += issueUnit(Unit::AP, orderAp_, slots_ap);
+        issued += issueUnit(Unit::EP, orderEp_, slots_ep);
         if (issued == 0)
             break;
     }
-    accountSlots(Unit::AP, slots_ap);
-    accountSlots(Unit::EP, slots_ep);
-    rrIssue_ = (rrIssue_ + 1) % cfg_.numThreads;
+    accountSlots(Unit::AP, orderAp_, slots_ap);
+    accountSlots(Unit::EP, orderEp_, slots_ep);
 }
 
 // ---------------------------------------------------------------------
@@ -274,17 +292,17 @@ Simulator::tryDispatch(Context &ctx)
 void
 Simulator::dispatchStage()
 {
+    issuePolicy_->dispatchOrder(snapshotThreads(), orderDispatch_);
     std::uint32_t budget = cfg_.dispatchWidth;
-    const std::uint32_t nthreads = cfg_.numThreads;
-    for (std::uint32_t i = 0; i < nthreads && budget > 0; ++i) {
-        Context &ctx = *contexts_[(rrDispatch_ + i) % nthreads];
+    for (std::size_t i = 0; i < orderDispatch_.size() && budget > 0;
+         ++i) {
+        Context &ctx = *contexts_[orderDispatch_[i]];
         while (budget > 0 && !ctx.fetchBuf.empty()) {
             if (!tryDispatch(ctx))
                 break;
             budget -= 1;
         }
     }
-    rrDispatch_ = (rrDispatch_ + 1) % nthreads;
 }
 
 // ---------------------------------------------------------------------
@@ -357,30 +375,21 @@ Simulator::fetchThread(Context &ctx)
 void
 Simulator::fetchStage()
 {
-    // Candidate threads, ICOUNT-ordered: fewest pending-dispatch
-    // instructions first (RR-2.8 with I-COUNT, per the paper).
-    std::vector<std::uint32_t> cand;
-    for (std::uint32_t i = 0; i < cfg_.numThreads; ++i) {
-        const std::uint32_t t = (rrFetch_ + i) % cfg_.numThreads;
-        Context &ctx = *contexts_[t];
-        if (ctx.fetchBlocked || now_ < ctx.fetchResumeAt)
+    // The policy ranks every thread (ICOUNT by default: fewest
+    // pending-dispatch instructions first over a round-robin base);
+    // the first fetchThreadsPerCycle *eligible* threads in that order
+    // get the I-cache ports.
+    const auto &threads = snapshotThreads();
+    fetchPolicy_->fetchOrder(threads, orderFetch_);
+    std::uint32_t ports = cfg_.fetchThreadsPerCycle;
+    for (const ThreadId t : orderFetch_) {
+        if (ports == 0)
+            break;
+        if (!threads[t].fetchEligible)
             continue;
-        if (ctx.traceDone && !ctx.hasPending)
-            continue;
-        if (ctx.fetchBuf.size() >= cfg_.fetchBufferSize)
-            continue;
-        cand.push_back(t);
+        fetchThread(*contexts_[t]);
+        ports -= 1;
     }
-    std::stable_sort(cand.begin(), cand.end(),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                         return contexts_[a]->fetchBuf.size() <
-                                contexts_[b]->fetchBuf.size();
-                     });
-    const std::size_t n =
-        std::min<std::size_t>(cand.size(), cfg_.fetchThreadsPerCycle);
-    for (std::size_t i = 0; i < n; ++i)
-        fetchThread(*contexts_[cand[i]]);
-    rrFetch_ = (rrFetch_ + 1) % cfg_.numThreads;
 }
 
 // ---------------------------------------------------------------------
@@ -435,6 +444,10 @@ Simulator::step()
     dispatchStage();
     fetchStage();
     graduateStage();
+    // One rotation step per cycle, matching the historical rrIssue_/
+    // rrDispatch_/rrFetch_ counters this layer replaced.
+    fetchPolicy_->endCycle();
+    issuePolicy_->endCycle();
     now_ += 1;
 }
 

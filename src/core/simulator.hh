@@ -6,15 +6,22 @@
  * Pipeline, evaluated once per cycle:
  *   1. memory begin-cycle (ports recycle, MSHR fills land)
  *   2. completions (writeback: wake consumers, resolve branches)
- *   3. issue (per unit, in order per thread, round-robin across threads,
- *      full simultaneous issue; slot accounting and perceived-latency
+ *   3. issue (per unit, in order per thread, across threads in the
+ *      ArbitrationPolicy's visit order, full simultaneous issue; slot
+ *      accounting — over the same visit order — and perceived-latency
  *      attribution)
  *   4. dispatch (rename, steer to AP queue / EP Instruction Queue,
- *      allocate ROB and SAQ entries)
- *   5. fetch (2 threads per cycle by ICOUNT, up to 8 consecutive
- *      instructions to the first taken branch; mispredicted branches gate
- *      fetch until resolution — trace-driven wrong-path modelling)
+ *      allocate ROB and SAQ entries; threads visited in the
+ *      ArbitrationPolicy's dispatch order)
+ *   5. fetch (2 threads per cycle chosen by the FetchPolicy — ICOUNT by
+ *      default — up to 8 consecutive instructions to the first taken
+ *      branch; mispredicted branches gate fetch until resolution —
+ *      trace-driven wrong-path modelling)
  *   6. graduate (in-order retirement; stores write the cache here)
+ *
+ * Thread arbitration is pluggable (src/policy/policy.hh): the policies
+ * are consulted once per cycle with read-only per-context snapshots,
+ * selected by SimConfig::fetchPolicy / SimConfig::issuePolicy.
  */
 
 #ifndef MTDAE_CORE_SIMULATOR_HH
@@ -29,6 +36,7 @@
 #include "core/context.hh"
 #include "core/slot_stats.hh"
 #include "memory/memory_system.hh"
+#include "policy/policy.hh"
 
 namespace mtdae {
 
@@ -118,6 +126,12 @@ class Simulator
     /** The configuration in force. */
     const SimConfig &config() const { return cfg_; }
 
+    /** The fetch arbitration policy in force. */
+    const FetchPolicy &fetchPolicy() const { return *fetchPolicy_; }
+
+    /** The dispatch/issue arbitration policy in force. */
+    const ArbitrationPolicy &issuePolicy() const { return *issuePolicy_; }
+
   private:
     struct Event
     {
@@ -135,15 +149,20 @@ class Simulator
     void processCompletions();
     void issueStage();
     /** @return instructions issued; decrements @p slots. */
-    std::uint32_t issueUnit(Unit unit, std::uint32_t &slots);
+    std::uint32_t issueUnit(Unit unit, const std::vector<ThreadId> &order,
+                            std::uint32_t &slots);
     bool tryIssue(Context &ctx, DynInst &di);
-    void accountSlots(Unit unit, std::uint32_t free_slots);
+    void accountSlots(Unit unit, const std::vector<ThreadId> &order,
+                      std::uint32_t free_slots);
     void dispatchStage();
     bool tryDispatch(Context &ctx);
     void fetchStage();
     void fetchThread(Context &ctx);
     bool ensurePending(Context &ctx);
     void graduateStage();
+
+    /** Refresh threadStates_ with per-context policy snapshots. */
+    const std::vector<ThreadState> &snapshotThreads();
 
     SimConfig cfg_;
     MemorySystem mem_;
@@ -152,9 +171,17 @@ class Simulator
         events_;
 
     Cycle now_ = 0;
-    std::uint32_t rrIssue_ = 0;
-    std::uint32_t rrDispatch_ = 0;
-    std::uint32_t rrFetch_ = 0;
+
+    // Thread arbitration (src/policy/policy.hh) and its per-stage
+    // scratch: the state snapshots handed to the policies and the
+    // visit orders they produce (reused to avoid per-cycle allocation).
+    std::unique_ptr<FetchPolicy> fetchPolicy_;
+    std::unique_ptr<ArbitrationPolicy> issuePolicy_;
+    std::vector<ThreadState> threadStates_;
+    std::vector<ThreadId> orderAp_;
+    std::vector<ThreadId> orderEp_;
+    std::vector<ThreadId> orderDispatch_;
+    std::vector<ThreadId> orderFetch_;
 
     // Statistics for the current interval.
     SlotBreakdown slotsAp_;

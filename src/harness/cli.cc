@@ -124,6 +124,12 @@ knobs()
         {"fetch-width", u32(&SimConfig::fetchWidth)},
         {"fetch-buffer", u32(&SimConfig::fetchBufferSize)},
         {"dispatch-width", u32(&SimConfig::dispatchWidth)},
+        {"fetch-policy", Knob{[](SimConfig &c, const std::string &v) {
+             return parsePolicy(v, c.fetchPolicy);
+         }}},
+        {"issue-policy", Knob{[](SimConfig &c, const std::string &v) {
+             return parsePolicy(v, c.issuePolicy);
+         }}},
         {"max-branches", u32(&SimConfig::maxUnresolvedBranches)},
         {"redirect-penalty", u32(&SimConfig::redirectPenalty)},
         {"bht-entries", u32(&SimConfig::bhtEntries)},
@@ -771,6 +777,62 @@ expFig4Dram(const Options &opts, std::ostream &err)
     return rs;
 }
 
+/**
+ * The thread-arbitration policy grid: every fetch policy crossed with
+ * every dispatch/issue policy, at each swept thread count. The
+ * icount/round-robin row is the paper's machine; the spread across the
+ * other rows is what the scheduler choice is worth. Policies matter
+ * most when threads compete for long-latency memory, so the default
+ * point is the L2=64 machine.
+ */
+ResultSet
+expAblatePolicy(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_policy";
+    rs.header = {"fetch_policy", "issue_policy", "threads",
+                 "ipc",          "perceived_all", "mispredict",
+                 "ap_useful",    "ep_useful"};
+    const std::uint64_t insts = budget(opts, 120000);
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 64 : opts.latencies.front();
+    const auto threads = sweepOr(opts.threads, {1, 4});
+    SweepSpec spec;
+    for (const PolicyKind fp : allPolicies()) {
+        for (const PolicyKind ip : allPolicies()) {
+            for (const std::uint32_t n : threads) {
+                SimConfig cfg = makeCfg(opts, n, true, lat);
+                // The policy pair is the swept knob: it wins over any
+                // --fetch-policy/--issue-policy override.
+                cfg.fetchPolicy = fp;
+                cfg.issuePolicy = ip;
+                spec.addSuiteMix(cfg, insts * n,
+                                 std::string(policyName(fp)) + "/" +
+                                     policyName(ip) + " " +
+                                     std::to_string(n) + "T");
+            }
+        }
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const PolicyKind fp : allPolicies()) {
+        for (const PolicyKind ip : allPolicies()) {
+            for (const std::uint32_t n : threads) {
+                const RunResult &r = results.at(k++);
+                rs.rows.push_back(
+                    {policyName(fp), policyName(ip), std::to_string(n),
+                     fmt(r.ipc), fmt(r.perceivedAll, 2),
+                     fmt(r.mispredictRate),
+                     fmt(r.ap.fraction(SlotUse::Useful)),
+                     fmt(r.ep.fraction(SlotUse::Useful))});
+            }
+        }
+    }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
+    return rs;
+}
+
 using ExperimentFn = ResultSet (*)(const Options &, std::ostream &);
 
 struct Entry
@@ -807,6 +869,9 @@ registry()
         {{"ablate-iq", "EP instruction-queue depth sweep"}, expAblateIq},
         {{"ablate-l2", "L2 size sweep on the DRAM backend"},
          expAblateL2},
+        {{"ablate-policy",
+          "fetch x issue thread-arbitration policy grid"},
+         expAblatePolicy},
     };
     return entries;
 }
@@ -1054,6 +1119,12 @@ printHelp(std::ostream &os)
           " (default for\n"
           "                    every experiment except fig4-dram and"
           " ablate-l2)\n"
+          "  --fetch-policy=P  thread fetch arbitration: icount"
+          " (default),\n"
+          "                    round-robin, brcount, misscount\n"
+          "  --issue-policy=P  dispatch/issue arbitration: round-robin"
+          " (default),\n"
+          "                    icount, brcount, misscount\n"
           "  --jobs=N          sweep worker threads (default: hardware"
           " concurrency);\n"
           "                    results are identical at any N\n"
@@ -1083,6 +1154,8 @@ printHelp(std::ostream &os)
           "  mtdae fig4 --threads-list=1,4 --latencies=1,32 --json\n"
           "  mtdae fig4-dram --latencies=1,4 --dram-banks=4\n"
           "  mtdae ablate-l2 --threads-list=4 --json\n"
+          "  mtdae ablate-policy --threads-list=1,4 --latencies=64\n"
+          "  mtdae fig5 --issue-policy=misscount --quiet\n"
           "  mtdae run --bench=tomcatv --threads=4 --l2-latency=64\n";
 }
 

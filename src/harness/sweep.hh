@@ -23,7 +23,11 @@
  * This is the seam the scaling roadmap builds on: anything that can
  * phrase itself as "run these points" (figure sweeps, ablations,
  * parameter searches, distributed shards) goes through SweepSpec and
- * inherits parallelism and determinism for free.
+ * inherits parallelism and determinism for free. Every SimConfig
+ * axis is sweepable by construction — the ablate-policy experiment,
+ * for example, grids SimConfig::fetchPolicy x issuePolicy, relying on
+ * the policies' own determinism contract (src/policy/policy.hh) to
+ * keep results byte-identical at any worker count.
  */
 
 #ifndef MTDAE_HARNESS_SWEEP_HH

@@ -1,0 +1,203 @@
+#include "policy/policy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mtdae {
+
+namespace {
+
+/**
+ * Shared mechanics of every standard policy: a round-robin rotation
+ * advanced one step per cycle, optionally refined by a stable sort on
+ * a per-thread key. With a stable sort, filtering ineligible threads
+ * before or after the sort yields the same relative order, which is
+ * what lets the Simulator apply eligibility after the policy ran.
+ */
+class RotatingOrder
+{
+  public:
+    explicit RotatingOrder(std::uint32_t nthreads) : nthreads_(nthreads) {}
+
+    /** Fill @p out with all tids starting at the rotation base. */
+    void
+    rotation(std::vector<ThreadId> &out) const
+    {
+        out.clear();
+        out.reserve(nthreads_);
+        for (std::uint32_t i = 0; i < nthreads_; ++i)
+            out.push_back((rr_ + i) % nthreads_);
+    }
+
+    /**
+     * Rotation refined by @p key: fewest-first, ties keep rotation
+     * order (the ICOUNT shape — RR-2.8 in the SMT fetch literature).
+     */
+    template <typename KeyFn>
+    void
+    rotationSortedBy(const std::vector<ThreadState> &threads, KeyFn key,
+                     std::vector<ThreadId> &out) const
+    {
+        rotation(out);
+        std::stable_sort(out.begin(), out.end(),
+                         [&](ThreadId a, ThreadId b) {
+                             return key(threads[a]) < key(threads[b]);
+                         });
+    }
+
+    void advance() { rr_ = (rr_ + 1) % nthreads_; }
+
+  private:
+    std::uint32_t nthreads_;
+    std::uint32_t rr_ = 0;
+};
+
+/**
+ * Every standard policy is "rotation, optionally sorted by one
+ * ThreadState key", so the implementations are a key table rather
+ * than a class hierarchy: null keys mean pure round-robin. Novel
+ * policies (per-unit, gating, adaptive) subclass the interfaces in
+ * policy.hh directly.
+ */
+using KeyFn = std::uint32_t (*)(const ThreadState &);
+
+std::uint32_t
+keyFetchBuf(const ThreadState &t)
+{
+    return t.fetchBufOccupancy;
+}
+
+std::uint32_t
+keyFrontEnd(const ThreadState &t)
+{
+    // Back-end ICOUNT counts everything between fetch and issue, not
+    // just the fetch buffer: prioritise the thread clogging the
+    // shared stages least.
+    return t.frontEndOccupancy();
+}
+
+std::uint32_t
+keyBranches(const ThreadState &t)
+{
+    return t.unresolvedBranches;
+}
+
+std::uint32_t
+keyMisses(const ThreadState &t)
+{
+    return t.outstandingMisses;
+}
+
+/** The ordering keys of one PolicyKind, per consulting seam. */
+struct PolicyKeys
+{
+    KeyFn fetch;  ///< FetchPolicy key; null = pure rotation.
+    KeyFn arb;    ///< ArbitrationPolicy key; null = pure rotation.
+};
+
+PolicyKeys
+keysFor(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Icount:
+        return {keyFetchBuf, keyFrontEnd};
+      case PolicyKind::RoundRobin:
+        return {nullptr, nullptr};
+      case PolicyKind::BrCount:
+        return {keyBranches, keyBranches};
+      case PolicyKind::MissCount:
+        return {keyMisses, keyMisses};
+    }
+    MTDAE_PANIC("unreachable PolicyKind");
+}
+
+class KeyedFetchPolicy final : public FetchPolicy
+{
+  public:
+    KeyedFetchPolicy(PolicyKind kind, std::uint32_t nthreads)
+        : kind_(kind), key_(keysFor(kind).fetch), rot_(nthreads)
+    {}
+
+    std::string_view name() const override { return policyName(kind_); }
+
+    void
+    fetchOrder(const std::vector<ThreadState> &threads,
+               std::vector<ThreadId> &out) override
+    {
+        if (key_)
+            rot_.rotationSortedBy(threads, key_, out);
+        else
+            rot_.rotation(out);
+    }
+
+    void endCycle() override { rot_.advance(); }
+
+  private:
+    PolicyKind kind_;
+    KeyFn key_;
+    RotatingOrder rot_;
+};
+
+class KeyedArbitrationPolicy final : public ArbitrationPolicy
+{
+  public:
+    KeyedArbitrationPolicy(PolicyKind kind, std::uint32_t nthreads)
+        : kind_(kind), key_(keysFor(kind).arb), rot_(nthreads)
+    {}
+
+    std::string_view name() const override { return policyName(kind_); }
+
+    void
+    dispatchOrder(const std::vector<ThreadState> &threads,
+                  std::vector<ThreadId> &out) override
+    {
+        order(threads, out);
+    }
+
+    void
+    issueOrder(Unit unit, const std::vector<ThreadState> &threads,
+               std::vector<ThreadId> &out) override
+    {
+        // The standard policies order both units (and dispatch) the
+        // same way; per-unit specialisation stays open through the
+        // interface's Unit parameter.
+        (void)unit;
+        order(threads, out);
+    }
+
+    void endCycle() override { rot_.advance(); }
+
+  private:
+    void
+    order(const std::vector<ThreadState> &threads,
+          std::vector<ThreadId> &out) const
+    {
+        if (key_)
+            rot_.rotationSortedBy(threads, key_, out);
+        else
+            rot_.rotation(out);
+    }
+
+    PolicyKind kind_;
+    KeyFn key_;
+    RotatingOrder rot_;
+};
+
+} // namespace
+
+std::unique_ptr<FetchPolicy>
+makeFetchPolicy(const SimConfig &cfg)
+{
+    return std::make_unique<KeyedFetchPolicy>(cfg.fetchPolicy,
+                                              cfg.numThreads);
+}
+
+std::unique_ptr<ArbitrationPolicy>
+makeArbitrationPolicy(const SimConfig &cfg)
+{
+    return std::make_unique<KeyedArbitrationPolicy>(cfg.issuePolicy,
+                                                    cfg.numThreads);
+}
+
+} // namespace mtdae

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Pluggable thread-arbitration policies: the scheduler of the shared
+ * pipeline stages as an explicit, swappable layer instead of loops
+ * hardwired into the Simulator.
+ *
+ * Two seams, consulted once per cycle each:
+ *
+ *  - FetchPolicy       — which threads get the I-cache ports this cycle,
+ *                        and in what priority order.
+ *  - ArbitrationPolicy — the thread visit order for the shared dispatch
+ *                        stage and for each issue unit (the slot
+ *                        accounting consumes the *same* order the issue
+ *                        stage used, so the Figure 3 attribution can
+ *                        never drift from the arbitration).
+ *
+ * Determinism contract: a policy may keep private per-cycle state (the
+ * round-robin rotation), but its output must be a pure function of that
+ * state and of the ThreadState snapshots it is handed — never of wall
+ * clock, allocation addresses or scheduling. This is what keeps every
+ * sweep byte-identical at any --jobs count.
+ *
+ * Policies see the machine only through ThreadState: a per-context
+ * occupancy/blocked snapshot taken at the start of the consulting
+ * stage. They never touch Context or Simulator internals.
+ */
+
+#ifndef MTDAE_POLICY_POLICY_HH
+#define MTDAE_POLICY_POLICY_HH
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace mtdae {
+
+/**
+ * Read-only per-context snapshot handed to policies — the only state a
+ * policy may base its ordering on.
+ */
+struct ThreadState
+{
+    ThreadId tid = 0;
+
+    /** Fetched instructions pending dispatch (the ICOUNT key). */
+    std::uint32_t fetchBufOccupancy = 0;
+    /** AP pending-issue queue occupancy. */
+    std::uint32_t apQueueOccupancy = 0;
+    /** EP Instruction Queue occupancy. */
+    std::uint32_t iqOccupancy = 0;
+    /** Reorder-buffer occupancy. */
+    std::uint32_t robOccupancy = 0;
+    /** Unresolved conditional branches (the BrCount key). */
+    std::uint32_t unresolvedBranches = 0;
+    /** Outstanding L1 load misses (the MissCount key), from the
+     *  per-thread PerceivedTracker the memory system feeds. */
+    std::uint32_t outstandingMisses = 0;
+
+    /**
+     * True when the thread may fetch this cycle: not gated on a
+     * mispredicted branch or redirect, trace not exhausted, fetch
+     * buffer not full. Computed by the Simulator; fetch policies
+     * may use it but the Simulator re-checks it regardless.
+     */
+    bool fetchEligible = false;
+
+    /** Occupancy of everything fetched but not yet issued. */
+    std::uint32_t
+    frontEndOccupancy() const
+    {
+        return fetchBufOccupancy + apQueueOccupancy + iqOccupancy;
+    }
+};
+
+/**
+ * Decides which threads fetch this cycle. fetchOrder() is called once
+ * per cycle; the Simulator walks the returned priority order, skips
+ * ineligible threads, and fetches the first fetchThreadsPerCycle
+ * eligible ones.
+ */
+class FetchPolicy
+{
+  public:
+    virtual ~FetchPolicy() = default;
+
+    /** Registry name ("icount", ...), for labels and error messages. */
+    virtual std::string_view name() const = 0;
+
+    /**
+     * Emit every thread id, highest fetch priority first, into @p out
+     * (cleared first). @p threads is indexed by tid.
+     */
+    virtual void fetchOrder(const std::vector<ThreadState> &threads,
+                            std::vector<ThreadId> &out) = 0;
+
+    /** Advance per-cycle state (rotations); called once per cycle. */
+    virtual void endCycle() {}
+};
+
+/**
+ * Decides the thread visit order of the shared back-end stages:
+ * dispatch, and issue per unit. Both orders are computed once per
+ * cycle from the same pre-stage snapshot.
+ */
+class ArbitrationPolicy
+{
+  public:
+    virtual ~ArbitrationPolicy() = default;
+
+    /** Registry name ("round-robin", ...). */
+    virtual std::string_view name() const = 0;
+
+    /** Visit order for this cycle's dispatch stage (into @p out). */
+    virtual void dispatchOrder(const std::vector<ThreadState> &threads,
+                               std::vector<ThreadId> &out) = 0;
+
+    /**
+     * Visit order for @p unit's issue this cycle (into @p out). The
+     * Simulator reuses this exact order for the unused-slot
+     * classification of the same cycle.
+     */
+    virtual void issueOrder(Unit unit,
+                            const std::vector<ThreadState> &threads,
+                            std::vector<ThreadId> &out) = 0;
+
+    /** Advance per-cycle state (rotations); called once per cycle. */
+    virtual void endCycle() {}
+};
+
+/** Build the fetch policy selected by @p cfg.fetchPolicy. */
+std::unique_ptr<FetchPolicy> makeFetchPolicy(const SimConfig &cfg);
+
+/** Build the arbitration policy selected by @p cfg.issuePolicy. */
+std::unique_ptr<ArbitrationPolicy> makeArbitrationPolicy(const SimConfig &cfg);
+
+} // namespace mtdae
+
+#endif // MTDAE_POLICY_POLICY_HH

@@ -110,7 +110,10 @@ TEST(CliParse, EveryDocumentedKeyIsSettable)
     for (const auto &key : cli::overrideKeys()) {
         const std::string value =
             key == "decoupled" || key == "perfect-l2" ? "true"
-            : key == "predictor" ? "gshare" : "8";
+            : key == "predictor"                      ? "gshare"
+            : key == "fetch-policy" || key == "issue-policy"
+                ? "round-robin"
+                : "8";
         EXPECT_TRUE(cli::applyOverride(cfg, key, value, error))
             << key << ": " << error;
     }

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Doc-drift gate: README.md's experiment table and the `mtdae list`
+ * registry must name exactly the same experiments, in both directions,
+ * so a new experiment cannot ship undocumented and the README cannot
+ * advertise a subcommand that no longer exists.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/cli.hh"
+
+namespace mtdae {
+namespace {
+
+std::string
+readmeText()
+{
+    const std::string path = std::string(MTDAE_SOURCE_DIR) + "/README.md";
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << "cannot open " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/**
+ * Experiment names from README.md: the first backtick-quoted token of
+ * each table row between the "### Experiments" heading and the next
+ * heading.
+ */
+std::set<std::string>
+readmeExperiments()
+{
+    std::set<std::string> names;
+    std::istringstream is(readmeText());
+    std::string line;
+    bool in_section = false;
+    bool in_table = false;
+    while (std::getline(is, line)) {
+        if (line.rfind("### Experiments", 0) == 0) {
+            in_section = true;
+            continue;
+        }
+        if (!in_section)
+            continue;
+        const bool table_line = line.rfind("|", 0) == 0;
+        if (in_table && !table_line)
+            break;  // only the section's first table lists experiments
+        if (table_line)
+            in_table = true;
+        if (line.rfind("| `", 0) != 0)
+            continue;  // header / separator row
+        const std::size_t open = line.find('`');
+        const std::size_t close = line.find('`', open + 1);
+        if (close != std::string::npos)
+            names.insert(line.substr(open + 1, close - open - 1));
+    }
+    return names;
+}
+
+std::set<std::string>
+registeredExperiments()
+{
+    std::set<std::string> names;
+    for (const auto &e : cli::experiments())
+        names.insert(e.name);
+    return names;
+}
+
+TEST(DocDrift, ReadmeHasAnExperimentTable)
+{
+    EXPECT_FALSE(readmeExperiments().empty())
+        << "README.md lost its '### Experiments' table";
+}
+
+TEST(DocDrift, EveryRegisteredExperimentIsInTheReadmeTable)
+{
+    const auto documented = readmeExperiments();
+    for (const auto &name : registeredExperiments())
+        EXPECT_TRUE(documented.count(name))
+            << "'" << name << "' is registered (mtdae list) but "
+            << "missing from README.md's experiment table";
+}
+
+TEST(DocDrift, EveryReadmeTableRowNamesARegisteredExperiment)
+{
+    const auto registered = registeredExperiments();
+    for (const auto &name : readmeExperiments())
+        EXPECT_TRUE(registered.count(name))
+            << "README.md documents '" << name
+            << "' but mtdae does not register it";
+}
+
+TEST(DocDrift, ReadmeDocumentsThePolicyFlags)
+{
+    // The headline knobs of the arbitration layer must stay findable.
+    const std::string text = readmeText();
+    EXPECT_NE(text.find("--fetch-policy"), std::string::npos);
+    EXPECT_NE(text.find("--issue-policy"), std::string::npos);
+    EXPECT_NE(text.find("ablate-policy"), std::string::npos);
+}
+
+} // namespace
+} // namespace mtdae

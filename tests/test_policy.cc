@@ -1,0 +1,326 @@
+/**
+ * @file
+ * The thread-arbitration policy layer (src/policy/policy.hh): ordering
+ * rules of every policy, the rotation mechanics, the Simulator's
+ * policy plumbing, per-policy sweep determinism at different worker
+ * counts, and the golden-CSV regression pinning the default policies
+ * to the pre-policy-layer simulator byte for byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hh"
+#include "harness/experiment.hh"
+#include "policy/policy.hh"
+
+namespace mtdae {
+namespace {
+
+SimConfig
+threadedCfg(std::uint32_t nthreads, PolicyKind fetch, PolicyKind issue)
+{
+    SimConfig cfg;
+    cfg.numThreads = nthreads;
+    cfg.fetchPolicy = fetch;
+    cfg.issuePolicy = issue;
+    return cfg;
+}
+
+/** n default-constructed snapshots with tids assigned. */
+std::vector<ThreadState>
+blankStates(std::uint32_t n)
+{
+    std::vector<ThreadState> ts(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        ts[i].tid = i;
+    return ts;
+}
+
+using Order = std::vector<ThreadId>;
+
+TEST(PolicyNames, RoundTripAndRejects)
+{
+    EXPECT_EQ(allPolicies().size(), 4u);
+    for (const PolicyKind k : allPolicies()) {
+        PolicyKind parsed;
+        ASSERT_TRUE(parsePolicy(policyName(k), parsed)) << policyName(k);
+        EXPECT_EQ(parsed, k);
+    }
+    PolicyKind parsed;
+    EXPECT_FALSE(parsePolicy("bogus", parsed));
+    EXPECT_FALSE(parsePolicy("", parsed));
+    EXPECT_FALSE(parsePolicy("ICOUNT", parsed));
+}
+
+TEST(PolicyNames, FactoriesReportTheirRegistryName)
+{
+    for (const PolicyKind k : allPolicies()) {
+        SimConfig cfg = threadedCfg(2, k, k);
+        EXPECT_EQ(makeFetchPolicy(cfg)->name(), policyName(k));
+        EXPECT_EQ(makeArbitrationPolicy(cfg)->name(), policyName(k));
+    }
+}
+
+TEST(FetchPolicyTest, RoundRobinRotatesOneStepPerCycle)
+{
+    const auto ts = blankStates(3);
+    auto pol = makeFetchPolicy(threadedCfg(3, PolicyKind::RoundRobin,
+                                           PolicyKind::RoundRobin));
+    Order order;
+    pol->fetchOrder(ts, order);
+    EXPECT_EQ(order, Order({0, 1, 2}));
+    pol->endCycle();
+    pol->fetchOrder(ts, order);
+    EXPECT_EQ(order, Order({1, 2, 0}));
+    pol->endCycle();
+    pol->fetchOrder(ts, order);
+    EXPECT_EQ(order, Order({2, 0, 1}));
+    pol->endCycle();
+    pol->fetchOrder(ts, order);
+    EXPECT_EQ(order, Order({0, 1, 2}));
+}
+
+TEST(FetchPolicyTest, IcountSortsByFetchBufferOccupancy)
+{
+    auto ts = blankStates(3);
+    ts[0].fetchBufOccupancy = 5;
+    ts[1].fetchBufOccupancy = 0;
+    ts[2].fetchBufOccupancy = 3;
+    auto pol = makeFetchPolicy(threadedCfg(3, PolicyKind::Icount,
+                                           PolicyKind::RoundRobin));
+    Order order;
+    pol->fetchOrder(ts, order);
+    EXPECT_EQ(order, Order({1, 2, 0}));
+}
+
+TEST(FetchPolicyTest, IcountTiesFollowTheRotation)
+{
+    const auto ts = blankStates(3);  // all occupancies equal
+    auto pol = makeFetchPolicy(threadedCfg(3, PolicyKind::Icount,
+                                           PolicyKind::RoundRobin));
+    Order order;
+    pol->fetchOrder(ts, order);
+    EXPECT_EQ(order, Order({0, 1, 2}));
+    pol->endCycle();
+    pol->fetchOrder(ts, order);
+    EXPECT_EQ(order, Order({1, 2, 0}));
+}
+
+TEST(FetchPolicyTest, BrcountPrefersFewestUnresolvedBranches)
+{
+    auto ts = blankStates(3);
+    ts[0].unresolvedBranches = 2;
+    ts[1].unresolvedBranches = 4;
+    ts[2].unresolvedBranches = 0;
+    auto pol = makeFetchPolicy(threadedCfg(3, PolicyKind::BrCount,
+                                           PolicyKind::RoundRobin));
+    Order order;
+    pol->fetchOrder(ts, order);
+    EXPECT_EQ(order, Order({2, 0, 1}));
+}
+
+TEST(FetchPolicyTest, MisscountPrefersFewestOutstandingMisses)
+{
+    auto ts = blankStates(4);
+    ts[0].outstandingMisses = 1;
+    ts[1].outstandingMisses = 0;
+    ts[2].outstandingMisses = 7;
+    ts[3].outstandingMisses = 0;
+    auto pol = makeFetchPolicy(threadedCfg(4, PolicyKind::MissCount,
+                                           PolicyKind::RoundRobin));
+    Order order;
+    pol->fetchOrder(ts, order);
+    EXPECT_EQ(order, Order({1, 3, 0, 2}));
+}
+
+TEST(ArbitrationPolicyTest, RoundRobinOrdersAllPointsIdentically)
+{
+    const auto ts = blankStates(4);
+    auto pol = makeArbitrationPolicy(
+        threadedCfg(4, PolicyKind::Icount, PolicyKind::RoundRobin));
+    Order dispatch, ap, ep;
+    pol->dispatchOrder(ts, dispatch);
+    pol->issueOrder(Unit::AP, ts, ap);
+    pol->issueOrder(Unit::EP, ts, ep);
+    EXPECT_EQ(dispatch, Order({0, 1, 2, 3}));
+    EXPECT_EQ(ap, dispatch);
+    EXPECT_EQ(ep, dispatch);
+    pol->endCycle();
+    pol->dispatchOrder(ts, dispatch);
+    EXPECT_EQ(dispatch, Order({1, 2, 3, 0}));
+}
+
+TEST(ArbitrationPolicyTest, IcountRanksByFrontEndOccupancy)
+{
+    auto ts = blankStates(3);
+    ts[0].fetchBufOccupancy = 1;  // total 6
+    ts[0].apQueueOccupancy = 2;
+    ts[0].iqOccupancy = 3;
+    ts[1].fetchBufOccupancy = 8;  // total 8
+    ts[2].iqOccupancy = 2;        // total 2
+    auto pol = makeArbitrationPolicy(
+        threadedCfg(3, PolicyKind::Icount, PolicyKind::Icount));
+    Order order;
+    pol->issueOrder(Unit::AP, ts, order);
+    EXPECT_EQ(order, Order({2, 0, 1}));
+}
+
+TEST(ArbitrationPolicyTest, MisscountRanksByOutstandingMisses)
+{
+    auto ts = blankStates(3);
+    ts[0].outstandingMisses = 3;
+    ts[1].outstandingMisses = 3;  // tie with 0: rotation order holds
+    ts[2].outstandingMisses = 1;
+    auto pol = makeArbitrationPolicy(
+        threadedCfg(3, PolicyKind::Icount, PolicyKind::MissCount));
+    Order order;
+    pol->dispatchOrder(ts, order);
+    EXPECT_EQ(order, Order({2, 0, 1}));
+}
+
+TEST(SimulatorPolicy, DefaultsAreThePaperPolicies)
+{
+    SimConfig cfg;
+    EXPECT_EQ(cfg.fetchPolicy, PolicyKind::Icount);
+    EXPECT_EQ(cfg.issuePolicy, PolicyKind::RoundRobin);
+}
+
+TEST(SimulatorPolicy, EveryPolicyPairMakesForwardProgress)
+{
+    // All sixteen fetch x issue pairs must graduate instructions on a
+    // multithreaded machine — a policy that starves a thread would
+    // trip the simulator's deadlock guard or stall the suite mix.
+    for (const PolicyKind fp : allPolicies()) {
+        for (const PolicyKind ip : allPolicies()) {
+            SimConfig cfg = paperConfig(2, true, 16);
+            cfg.warmupInsts = 500;
+            cfg.fetchPolicy = fp;
+            cfg.issuePolicy = ip;
+            const RunResult r = runSuiteMix(cfg, 4000);
+            EXPECT_GE(r.insts, 4000u)
+                << policyName(fp) << "/" << policyName(ip);
+            EXPECT_GT(r.ipc, 0.0)
+                << policyName(fp) << "/" << policyName(ip);
+        }
+    }
+}
+
+TEST(SimulatorPolicy, RepeatedRunsAreDeterministicPerPolicy)
+{
+    for (const PolicyKind k : allPolicies()) {
+        SimConfig cfg = paperConfig(3, true, 64);
+        cfg.warmupInsts = 500;
+        cfg.fetchPolicy = k;
+        cfg.issuePolicy = k;
+        const RunResult a = runSuiteMix(cfg, 3000);
+        const RunResult b = runSuiteMix(cfg, 3000);
+        EXPECT_EQ(a.cycles, b.cycles) << policyName(k);
+        EXPECT_EQ(a.insts, b.insts) << policyName(k);
+        EXPECT_EQ(a.fpMisses, b.fpMisses) << policyName(k);
+    }
+}
+
+/** runCli to strings; returns exit code. */
+int
+cli(const std::vector<std::string> &args, std::string &out)
+{
+    std::ostringstream os, es;
+    const int rc = cli::runCli(args, os, es);
+    out = os.str();
+    return rc;
+}
+
+TEST(PolicySweep, JobsOneAndEightAreByteIdenticalPerPolicy)
+{
+    // The acceptance bar of the policy layer: every policy stays a
+    // pure function of simulation state, so a fig4 grid is
+    // byte-identical at any worker count.
+    for (const PolicyKind k : allPolicies()) {
+        const std::vector<std::string> common = {
+            "fig4",           "--insts=1500",
+            "--warmup=300",   "--threads-list=1,2",
+            "--latencies=1,16",
+            "--fetch-policy=" + std::string(policyName(k)),
+            "--issue-policy=" + std::string(policyName(k)),
+            "--quiet",        "--json"};
+        std::vector<std::string> serial = common, parallel = common;
+        serial.push_back("--jobs=1");
+        parallel.push_back("--jobs=8");
+        std::string serial_out, parallel_out;
+        ASSERT_EQ(cli(serial, serial_out), 0) << policyName(k);
+        ASSERT_EQ(cli(parallel, parallel_out), 0) << policyName(k);
+        EXPECT_FALSE(serial_out.empty());
+        EXPECT_EQ(serial_out, parallel_out) << policyName(k);
+    }
+}
+
+TEST(PolicySweep, AblatePolicyCoversTheFullGrid)
+{
+    std::string out;
+    ASSERT_EQ(cli({"ablate-policy", "--insts=1000", "--warmup=200",
+                   "--threads-list=1,2", "--quiet", "--json"},
+                  out),
+              0);
+    for (const PolicyKind k : allPolicies())
+        EXPECT_NE(out.find(policyName(k)), std::string::npos)
+            << policyName(k);
+    // 4 fetch x 4 issue x 2 thread counts = 32 grid rows.
+    std::size_t rows = 0;
+    for (std::size_t pos = out.find("\"fetch_policy\"");
+         pos != std::string::npos;
+         pos = out.find("\"fetch_policy\"", pos + 1))
+        rows += 1;
+    EXPECT_EQ(rows, 32u);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << "cannot open " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(PolicyGolden, DefaultPoliciesReproducePrePolicyLayerCsvs)
+{
+    // tests/golden/*.csv were generated by the simulator *before* the
+    // arbitration layer existed (commit 055b469's tree), with exactly
+    // these arguments. The default icount/round-robin policies must
+    // reproduce them byte for byte.
+    const std::string out_dir = ::testing::TempDir() + "mtdae_golden";
+
+    const std::vector<std::pair<std::string, std::vector<std::string>>>
+        experiments = {
+            {"fig1",
+             {"fig1", "--bench=tomcatv,swim", "--latencies=1,16,64"}},
+            {"fig3", {"fig3", "--threads-list=1,2,4"}},
+            {"fig4",
+             {"fig4", "--threads-list=1,2", "--latencies=1,16,64"}},
+            {"fig5",
+             {"fig5", "--threads-list=1,2,4", "--latencies=16,64"}},
+        };
+    for (const auto &[name, base] : experiments) {
+        std::vector<std::string> args = base;
+        args.insert(args.end(), {"--insts=2000", "--warmup=500",
+                                 "--quiet", "--out=" + out_dir});
+        std::string out;
+        ASSERT_EQ(cli(args, out), 0) << name;
+        const std::string got = slurp(out_dir + "/" + name + ".csv");
+        const std::string want = slurp(std::string(MTDAE_SOURCE_DIR) +
+                                       "/tests/golden/" + name + ".csv");
+        ASSERT_FALSE(want.empty()) << name;
+        EXPECT_EQ(got, want)
+            << name << ": default-policy output drifted from the "
+            << "pre-policy-layer simulator";
+    }
+}
+
+} // namespace
+} // namespace mtdae
