@@ -11,7 +11,9 @@
  *
  * The policy arguments take the names `mtdae help` lists for
  * --fetch-policy / --issue-policy (icount, round-robin, brcount,
- * misscount), e.g.: mix_explorer 4 64 1 0 icount misscount
+ * misscount, plus the fetch-only gating policies stall/flush and the
+ * issue-only per-unit split — see docs/POLICIES.md), e.g.:
+ * mix_explorer 4 64 1 0 stall split
  */
 
 #include <cstdlib>
@@ -40,11 +42,18 @@ main(int argc, char **argv)
     for (int i : {5, 6}) {
         if (argc <= i)
             break;
-        PolicyKind &slot = i == 5 ? cfg.fetchPolicy : cfg.issuePolicy;
+        const bool is_fetch = i == 5;
+        PolicyKind &slot = is_fetch ? cfg.fetchPolicy : cfg.issuePolicy;
         if (!parsePolicy(argv[i], slot)) {
             std::cerr << "mix_explorer: unknown policy '" << argv[i]
                       << "' (try icount, round-robin, brcount,"
-                         " misscount)\n";
+                         " misscount, stall, flush, split)\n";
+            return 2;
+        }
+        if (is_fetch ? !policyIsFetch(slot) : !policyIsIssue(slot)) {
+            std::cerr << "mix_explorer: '" << argv[i] << "' is not a "
+                      << (is_fetch ? "fetch" : "dispatch/issue")
+                      << " policy\n";
             return 2;
         }
     }

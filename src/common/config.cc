@@ -18,6 +18,12 @@ policyName(PolicyKind k)
         return "brcount";
       case PolicyKind::MissCount:
         return "misscount";
+      case PolicyKind::Stall:
+        return "stall";
+      case PolicyKind::Flush:
+        return "flush";
+      case PolicyKind::Split:
+        return "split";
     }
     MTDAE_PANIC("unreachable PolicyKind");
 }
@@ -42,8 +48,50 @@ allPolicies()
         PolicyKind::RoundRobin,
         PolicyKind::BrCount,
         PolicyKind::MissCount,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+        PolicyKind::Split,
     };
     return kinds;
+}
+
+const std::vector<PolicyKind> &
+fetchPolicies()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Icount,
+        PolicyKind::RoundRobin,
+        PolicyKind::BrCount,
+        PolicyKind::MissCount,
+        PolicyKind::Stall,
+        PolicyKind::Flush,
+    };
+    return kinds;
+}
+
+const std::vector<PolicyKind> &
+issuePolicies()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Icount,
+        PolicyKind::RoundRobin,
+        PolicyKind::BrCount,
+        PolicyKind::MissCount,
+        PolicyKind::Split,
+    };
+    return kinds;
+}
+
+bool
+policyIsFetch(PolicyKind k)
+{
+    return k != PolicyKind::Split;
+}
+
+bool
+policyIsIssue(PolicyKind k)
+{
+    return k != PolicyKind::Stall && k != PolicyKind::Flush;
 }
 
 SimConfig
@@ -81,6 +129,14 @@ SimConfig::validate() const
 {
     if (numThreads == 0)
         MTDAE_FATAL("numThreads must be >= 1");
+    if (!policyIsFetch(fetchPolicy))
+        MTDAE_FATAL("'", policyName(fetchPolicy),
+                    "' is not a fetch policy (valid: icount, "
+                    "round-robin, brcount, misscount, stall, flush)");
+    if (!policyIsIssue(issuePolicy))
+        MTDAE_FATAL("'", policyName(issuePolicy),
+                    "' is not a dispatch/issue policy (valid: icount, "
+                    "round-robin, brcount, misscount, split)");
     if (apUnits == 0 || epUnits == 0)
         MTDAE_FATAL("both units need at least one functional unit");
     if (apLatency == 0 || epLatency == 0)

@@ -20,6 +20,13 @@ namespace mtdae {
  * order the hardware contexts each cycle (src/policy/policy.hh). Every
  * policy is a pure function of simulation state, so swept results stay
  * byte-identical at any worker count.
+ *
+ * The first four kinds are pure *ordering* policies and are valid on
+ * both seams (fetch and dispatch/issue). Stall and Flush are fetch
+ * *gating* policies — they can veto a thread's fetch entirely, not just
+ * de-prioritise it — and Split is a per-unit issue policy; each is
+ * valid on one seam only (policyIsFetch / policyIsIssue, enforced by
+ * SimConfig::validate()).
  */
 enum class PolicyKind : std::uint8_t {
     Icount,      ///< Fewest buffered instructions first (the paper's
@@ -27,6 +34,12 @@ enum class PolicyKind : std::uint8_t {
     RoundRobin,  ///< Pure rotation, one step per cycle.
     BrCount,     ///< Fewest unresolved conditional branches first.
     MissCount,   ///< Fewest outstanding L1 load misses first.
+    Stall,       ///< ICOUNT fetch, but a thread with an outstanding
+                 ///< L1 load miss may not fetch at all (fetch only).
+    Flush,       ///< Stall, plus the gated thread's not-yet-dispatched
+                 ///< fetch buffer is squashed for replay (fetch only).
+    Split,       ///< Per-unit issue: AP by outstanding misses, EP by
+                 ///< windowed IQ occupancy (dispatch/issue only).
 };
 
 /** CLI spelling of @p k ("icount", "round-robin", ...). */
@@ -37,6 +50,18 @@ bool parsePolicy(const std::string &s, PolicyKind &out);
 
 /** Every policy, in registry/display order. */
 const std::vector<PolicyKind> &allPolicies();
+
+/** Policies valid for SimConfig::fetchPolicy, in registry order. */
+const std::vector<PolicyKind> &fetchPolicies();
+
+/** Policies valid for SimConfig::issuePolicy, in registry order. */
+const std::vector<PolicyKind> &issuePolicies();
+
+/** True when @p k may be used as the fetch policy. */
+bool policyIsFetch(PolicyKind k);
+
+/** True when @p k may be used as the dispatch/issue policy. */
+bool policyIsIssue(PolicyKind k);
 
 /**
  * Full machine configuration. Defaults reproduce the paper's Figure 2:
@@ -79,11 +104,15 @@ struct SimConfig
      * Thread order for fetch-port arbitration. The default, Icount,
      * reproduces the paper's RR-2.8 ICOUNT scheme: candidates rotate
      * round-robin and are stably sorted by fetch-buffer occupancy.
+     * Must satisfy policyIsFetch(); Stall and Flush additionally gate
+     * (veto) threads with outstanding L1 load misses.
      */
     PolicyKind fetchPolicy = PolicyKind::Icount;
     /**
      * Thread visit order for the shared dispatch stage and for each
      * issue unit (the paper's machine is RoundRobin in all three).
+     * Must satisfy policyIsIssue(); Split orders the two units by
+     * different keys.
      */
     PolicyKind issuePolicy = PolicyKind::RoundRobin;
     /** Max unresolved branches per thread (AP control speculation). */

@@ -113,6 +113,16 @@ Context::stallSource(const DynInst &di, std::uint32_t &tok) const
     return kind;
 }
 
+void
+Context::sampleIqWindow()
+{
+    std::uint32_t &slot = iqSamples[iqSampleAt];
+    iqWindowSum -= slot;
+    slot = std::uint32_t(iq.size());
+    iqWindowSum += slot;
+    iqSampleAt = (iqSampleAt + 1) % kIqWindow;
+}
+
 ThreadState
 Context::policyState(const SimConfig &cfg, Cycle now) const
 {
@@ -124,8 +134,9 @@ Context::policyState(const SimConfig &cfg, Cycle now) const
     s.robOccupancy = std::uint32_t(rob.size());
     s.unresolvedBranches = unresolvedBranches;
     s.outstandingMisses = perceived.outstanding();
+    s.iqOccupancyWindow = iqWindowSum;
     s.fetchEligible = !fetchBlocked && now >= fetchResumeAt &&
-                      (!traceDone || hasPending) &&
+                      (!replayQ.empty() || !traceDone || hasPending) &&
                       fetchBuf.size() < cfg.fetchBufferSize;
     return s;
 }

@@ -9,6 +9,7 @@
 #ifndef MTDAE_CORE_CONTEXT_HH
 #define MTDAE_CORE_CONTEXT_HH
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -135,6 +136,13 @@ struct Context
 
     // Front end.
     std::deque<FetchedInst> fetchBuf; ///< Fetched, pending dispatch.
+    /**
+     * Instructions squashed from the fetch buffer by a flush-gating
+     * policy, oldest first; fetch replays them — re-running branch
+     * prediction — before consuming the trace again
+     * (Simulator::flushFetchBuffer / nextInst).
+     */
+    std::deque<TraceInst> replayQ;
     TraceInst pendingInst;            ///< One-instruction lookahead.
     bool hasPending = false;
     bool traceDone = false;
@@ -161,6 +169,21 @@ struct Context
     // Per-thread statistics.
     PerceivedTracker perceived;
     std::uint64_t graduated = 0;
+
+    /** Cycles in the trailing IQ-occupancy window (the split policy's
+     *  EP drain-rate key; ThreadState::iqOccupancyWindow). */
+    static constexpr std::uint32_t kIqWindow = 64;
+    std::array<std::uint32_t, kIqWindow> iqSamples{};  ///< Ring buffer.
+    std::uint32_t iqSampleAt = 0;   ///< Next ring slot to overwrite.
+    std::uint32_t iqWindowSum = 0;  ///< Running sum of the ring.
+
+    /**
+     * Record this cycle's IQ-occupancy sample into the trailing
+     * window. Called exactly once per cycle, at the end of
+     * Simulator::step(), so every policy consultation within a cycle
+     * sees the same window value.
+     */
+    void sampleIqWindow();
 
     /** Register file holding registers of @p cls. */
     RegFile &file(RegClass cls)

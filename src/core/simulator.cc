@@ -324,15 +324,64 @@ Simulator::ensurePending(Context &ctx)
     return true;
 }
 
+const TraceInst *
+Simulator::nextInst(Context &ctx)
+{
+    // Flushed instructions are older than the trace lookahead (they
+    // were fetched before it), so the replay queue drains first.
+    if (!ctx.replayQ.empty())
+        return &ctx.replayQ.front();
+    if (!ensurePending(ctx))
+        return nullptr;
+    return &ctx.pendingInst;
+}
+
+void
+Simulator::consumeNext(Context &ctx)
+{
+    if (!ctx.replayQ.empty())
+        ctx.replayQ.pop_front();
+    else
+        ctx.hasPending = false;
+}
+
+void
+Simulator::flushFetchBuffer(Context &ctx)
+{
+    MTDAE_ASSERT(!ctx.fetchBuf.empty(), "flush of an empty fetch buffer");
+    const InstSeq first = ctx.fetchBuf.front().seq;
+    // Youngest first, so push_front keeps program order and lands the
+    // block ahead of any earlier flush's not-yet-replayed leftovers.
+    for (auto it = ctx.fetchBuf.rbegin(); it != ctx.fetchBuf.rend();
+         ++it) {
+        if (isCondBranch(it->ti.op)) {
+            // Unwind the fetch-time speculation accounting; the branch
+            // re-predicts (against the updated predictor) at replay.
+            MTDAE_ASSERT(ctx.unresolvedBranches > 0,
+                         "flush branch-count underflow");
+            ctx.unresolvedBranches -= 1;
+            if (it->mispredicted && ctx.fetchBlocked &&
+                ctx.blockingBranchSeq == it->seq)
+                ctx.fetchBlocked = false;  // the gate never dispatched
+        }
+        ctx.replayQ.push_front(it->ti);
+    }
+    ctx.fetchBuf.clear();
+    // Replayed instructions get fresh sequence numbers; nothing
+    // younger than the squashed block was ever fetched.
+    ctx.nextSeq = first;
+}
+
 void
 Simulator::fetchThread(Context &ctx)
 {
     std::uint32_t count = 0;
     while (count < cfg_.fetchWidth &&
            ctx.fetchBuf.size() < cfg_.fetchBufferSize) {
-        if (!ensurePending(ctx))
+        const TraceInst *tip = nextInst(ctx);
+        if (!tip)
             break;
-        const TraceInst &ti = ctx.pendingInst;
+        const TraceInst ti = *tip;
         // Control speculation limit: cannot fetch past another
         // conditional branch while the maximum are unresolved.
         if (isCondBranch(ti.op) &&
@@ -342,7 +391,7 @@ Simulator::fetchThread(Context &ctx)
         FetchedInst fi;
         fi.ti = ti;
         fi.seq = ctx.nextSeq++;
-        ctx.hasPending = false;
+        consumeNext(ctx);
         count += 1;
 
         bool stop = false;
@@ -375,17 +424,33 @@ Simulator::fetchThread(Context &ctx)
 void
 Simulator::fetchStage()
 {
+    // Gating pass, before any ordering: a flush-style policy squashes
+    // the pressured threads' not-yet-dispatched buffers, handing their
+    // dispatch slots to the other threads.
+    bool flushed = false;
+    for (const ThreadState &t : snapshotThreads()) {
+        if (!contexts_[t.tid]->fetchBuf.empty() &&
+            fetchPolicy_->shouldFlush(t)) {
+            flushFetchBuffer(*contexts_[t.tid]);
+            flushed = true;
+        }
+    }
+    if (flushed)
+        snapshotThreads();  // the squash changed the occupancies
+
     // The policy ranks every thread (ICOUNT by default: fewest
     // pending-dispatch instructions first over a round-robin base);
-    // the first fetchThreadsPerCycle *eligible* threads in that order
-    // get the I-cache ports.
-    const auto &threads = snapshotThreads();
+    // the first fetchThreadsPerCycle *eligible, non-vetoed* threads in
+    // that order get the I-cache ports. A vetoed (gated) thread does
+    // not consume a port.
+    const auto &threads = threadStates_;
     fetchPolicy_->fetchOrder(threads, orderFetch_);
     std::uint32_t ports = cfg_.fetchThreadsPerCycle;
     for (const ThreadId t : orderFetch_) {
         if (ports == 0)
             break;
-        if (!threads[t].fetchEligible)
+        if (!threads[t].fetchEligible ||
+            !fetchPolicy_->mayFetch(threads[t]))
             continue;
         fetchThread(*contexts_[t]);
         ports -= 1;
@@ -444,6 +509,10 @@ Simulator::step()
     dispatchStage();
     fetchStage();
     graduateStage();
+    // One windowed-statistics sample per cycle, after every stage, so
+    // all of next cycle's policy consultations see the same window.
+    for (auto &ctxp : contexts_)
+        ctxp->sampleIqWindow();
     // One rotation step per cycle, matching the historical rrIssue_/
     // rrDispatch_/rrFetch_ counters this layer replaced.
     fetchPolicy_->endCycle();
@@ -456,8 +525,8 @@ Simulator::allDone() const
 {
     for (const auto &ctxp : contexts_) {
         const Context &ctx = *ctxp;
-        if (!ctx.traceDone || ctx.hasPending || !ctx.fetchBuf.empty() ||
-            !ctx.rob.empty())
+        if (!ctx.traceDone || ctx.hasPending || !ctx.replayQ.empty() ||
+            !ctx.fetchBuf.empty() || !ctx.rob.empty())
             return false;
     }
     return true;

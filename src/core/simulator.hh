@@ -16,7 +16,10 @@
  *   5. fetch (2 threads per cycle chosen by the FetchPolicy — ICOUNT by
  *      default — up to 8 consecutive instructions to the first taken
  *      branch; mispredicted branches gate fetch until resolution —
- *      trace-driven wrong-path modelling)
+ *      trace-driven wrong-path modelling. Gating policies are applied
+ *      here first: FetchPolicy::shouldFlush() squashes a thread's
+ *      not-yet-dispatched buffer for later replay, and
+ *      FetchPolicy::mayFetch() vetoes threads from the ranked walk)
  *   6. graduate (in-order retirement; stores write the cache here)
  *
  * Thread arbitration is pluggable (src/policy/policy.hh): the policies
@@ -159,6 +162,19 @@ class Simulator
     void fetchStage();
     void fetchThread(Context &ctx);
     bool ensurePending(Context &ctx);
+    /** Next instruction in program order (replayed flushes first,
+     *  then the trace lookahead); null when the thread is drained. */
+    const TraceInst *nextInst(Context &ctx);
+    /** Consume the instruction nextInst() returned. */
+    void consumeNext(Context &ctx);
+    /**
+     * Squash @p ctx's not-yet-dispatched fetch buffer (the flush
+     * gating policy): the buffered instructions move to the front of
+     * the thread's replay queue for later re-fetch, fetch-time branch
+     * bookkeeping is unwound, and the sequence counter rewinds to the
+     * first squashed instruction (nothing younger was ever fetched).
+     */
+    void flushFetchBuffer(Context &ctx);
     void graduateStage();
 
     /** Refresh threadStates_ with per-context policy snapshots. */

@@ -125,10 +125,12 @@ knobs()
         {"fetch-buffer", u32(&SimConfig::fetchBufferSize)},
         {"dispatch-width", u32(&SimConfig::dispatchWidth)},
         {"fetch-policy", Knob{[](SimConfig &c, const std::string &v) {
-             return parsePolicy(v, c.fetchPolicy);
+             return parsePolicy(v, c.fetchPolicy) &&
+                    policyIsFetch(c.fetchPolicy);
          }}},
         {"issue-policy", Knob{[](SimConfig &c, const std::string &v) {
-             return parsePolicy(v, c.issuePolicy);
+             return parsePolicy(v, c.issuePolicy) &&
+                    policyIsIssue(c.issuePolicy);
          }}},
         {"max-branches", u32(&SimConfig::maxUnresolvedBranches)},
         {"redirect-penalty", u32(&SimConfig::redirectPenalty)},
@@ -798,8 +800,8 @@ expAblatePolicy(const Options &opts, std::ostream &err)
         opts.latencies.empty() ? 64 : opts.latencies.front();
     const auto threads = sweepOr(opts.threads, {1, 4});
     SweepSpec spec;
-    for (const PolicyKind fp : allPolicies()) {
-        for (const PolicyKind ip : allPolicies()) {
+    for (const PolicyKind fp : fetchPolicies()) {
+        for (const PolicyKind ip : issuePolicies()) {
             for (const std::uint32_t n : threads) {
                 SimConfig cfg = makeCfg(opts, n, true, lat);
                 // The policy pair is the swept knob: it wins over any
@@ -815,8 +817,8 @@ expAblatePolicy(const Options &opts, std::ostream &err)
     }
     const auto results = runSweep(spec, opts, err);
     std::size_t k = 0;
-    for (const PolicyKind fp : allPolicies()) {
-        for (const PolicyKind ip : allPolicies()) {
+    for (const PolicyKind fp : fetchPolicies()) {
+        for (const PolicyKind ip : issuePolicies()) {
             for (const std::uint32_t n : threads) {
                 const RunResult &r = results.at(k++);
                 rs.rows.push_back(
@@ -825,6 +827,68 @@ expAblatePolicy(const Options &opts, std::ostream &err)
                      fmt(r.mispredictRate),
                      fmt(r.ap.fraction(SlotUse::Useful)),
                      fmt(r.ep.fraction(SlotUse::Useful))});
+            }
+        }
+    }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
+    return rs;
+}
+
+/**
+ * The fetch-gating grid: the STALL/FLUSH gating policies against the
+ * plain ICOUNT baseline, crossed with L2 size and thread count, on the
+ * finite L2 + DRAM backend — the regime where miss pressure is real
+ * and gating the AP's runahead has something to trade. `--latencies`
+ * overrides the swept L2 sizes (in KiB), mirroring fig4-dram's reuse
+ * of the flag for its swept axis.
+ */
+ResultSet
+expAblateGating(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_gating";
+    rs.header = {"fetch_policy", "l2_kb",    "threads",
+                 "ipc",          "perceived_all", "l1_miss",
+                 "l2_miss",      "avg_fill"};
+    const std::uint64_t insts = budget(opts, 120000);
+    const std::vector<PolicyKind> gating = {
+        PolicyKind::Icount, PolicyKind::Stall, PolicyKind::Flush};
+    const auto sizes_kb = sweepOr(opts.latencies, {64, 256, 1024});
+    const auto threads = sweepOr(opts.threads, {2, 4});
+    SweepSpec spec;
+    for (const PolicyKind fp : gating) {
+        for (const std::uint32_t kb : sizes_kb) {
+            for (const std::uint32_t n : threads) {
+                // Real backend by default; user overrides still win,
+                // then the swept knobs are pinned (the ablate-l2
+                // pattern).
+                SimConfig cfg = paperConfig(n, true, 16,
+                                            opts.scaleQueues);
+                cfg.perfectL2 = false;
+                std::string error;
+                if (!applyOverrides(cfg, opts, error))
+                    MTDAE_FATAL("bad override: ", error);
+                cfg.l2Bytes = kb * 1024;
+                cfg.fetchPolicy = fp;
+                spec.addSuiteMix(cfg, insts * n,
+                                 std::string(policyName(fp)) + " L2 " +
+                                     std::to_string(kb) + "KB " +
+                                     std::to_string(n) + "T");
+            }
+        }
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const PolicyKind fp : gating) {
+        for (const std::uint32_t kb : sizes_kb) {
+            for (const std::uint32_t n : threads) {
+                const RunResult &r = results.at(k++);
+                rs.rows.push_back({policyName(fp), std::to_string(kb),
+                                   std::to_string(n), fmt(r.ipc),
+                                   fmt(r.perceivedAll, 2),
+                                   fmt(r.missRatio), fmt(r.l2MissRatio),
+                                   fmt(r.avgFillLatency, 1)});
             }
         }
     }
@@ -872,6 +936,9 @@ registry()
         {{"ablate-policy",
           "fetch x issue thread-arbitration policy grid"},
          expAblatePolicy},
+        {{"ablate-gating",
+          "fetch gating (stall/flush) x L2 size on the DRAM backend"},
+         expAblateGating},
     };
     return entries;
 }
@@ -1114,17 +1181,26 @@ printHelp(std::ostream &os)
           "  --threads-list=L  override the swept thread counts\n"
           "  --latencies=L     override the swept L2 latencies\n"
           "                    (for fig4-dram: the DRAM slowdown"
-          " factors)\n"
+          " factors;\n"
+          "                    for ablate-gating: the L2 sizes in"
+          " KiB)\n"
           "  --perfect-l2      force the paper's never-missing L2"
           " (default for\n"
           "                    every experiment except fig4-dram and"
           " ablate-l2)\n"
           "  --fetch-policy=P  thread fetch arbitration: icount"
           " (default),\n"
-          "                    round-robin, brcount, misscount\n"
+          "                    round-robin, brcount, misscount, or the\n"
+          "                    gating policies stall, flush (suspend"
+          " fetch on\n"
+          "                    an outstanding L1 load miss; flush also\n"
+          "                    squashes the fetch buffer for replay)\n"
           "  --issue-policy=P  dispatch/issue arbitration: round-robin"
           " (default),\n"
-          "                    icount, brcount, misscount\n"
+          "                    icount, brcount, misscount, or split\n"
+          "                    (per-unit: AP by misscount, EP by"
+          " windowed\n"
+          "                    IQ occupancy)\n"
           "  --jobs=N          sweep worker threads (default: hardware"
           " concurrency);\n"
           "                    results are identical at any N\n"
@@ -1155,7 +1231,9 @@ printHelp(std::ostream &os)
           "  mtdae fig4-dram --latencies=1,4 --dram-banks=4\n"
           "  mtdae ablate-l2 --threads-list=4 --json\n"
           "  mtdae ablate-policy --threads-list=1,4 --latencies=64\n"
+          "  mtdae ablate-gating --threads-list=2,4 --latencies=64\n"
           "  mtdae fig5 --issue-policy=misscount --quiet\n"
+          "  mtdae fig5 --fetch-policy=stall --issue-policy=split\n"
           "  mtdae run --bench=tomcatv --threads=4 --l2-latency=64\n";
 }
 

@@ -24,10 +24,12 @@
  * phrase itself as "run these points" (figure sweeps, ablations,
  * parameter searches, distributed shards) goes through SweepSpec and
  * inherits parallelism and determinism for free. Every SimConfig
- * axis is sweepable by construction — the ablate-policy experiment,
- * for example, grids SimConfig::fetchPolicy x issuePolicy, relying on
- * the policies' own determinism contract (src/policy/policy.hh) to
- * keep results byte-identical at any worker count.
+ * axis is sweepable by construction — the ablate-policy experiment
+ * grids SimConfig::fetchPolicy x issuePolicy, and ablate-gating
+ * crosses the stall/flush fetch-gating policies with L2 size; both
+ * rely on the policies' own determinism contract
+ * (src/policy/policy.hh, docs/POLICIES.md) to keep results
+ * byte-identical at any worker count.
  */
 
 #ifndef MTDAE_HARNESS_SWEEP_HH

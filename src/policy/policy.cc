@@ -89,6 +89,12 @@ keyMisses(const ThreadState &t)
     return t.outstandingMisses;
 }
 
+std::uint32_t
+keyIqWindow(const ThreadState &t)
+{
+    return t.iqOccupancyWindow;
+}
+
 /** The ordering keys of one PolicyKind, per consulting seam. */
 struct PolicyKeys
 {
@@ -108,8 +114,13 @@ keysFor(PolicyKind kind)
         return {keyBranches, keyBranches};
       case PolicyKind::MissCount:
         return {keyMisses, keyMisses};
+      case PolicyKind::Stall:
+      case PolicyKind::Flush:
+      case PolicyKind::Split:
+        break;  // gating / per-unit policies have their own classes
     }
-    MTDAE_PANIC("unreachable PolicyKind");
+    MTDAE_PANIC("keysFor() on the non-keyed policy '",
+                policyName(kind), "'");
 }
 
 class KeyedFetchPolicy final : public FetchPolicy
@@ -184,11 +195,117 @@ class KeyedArbitrationPolicy final : public ArbitrationPolicy
     RotatingOrder rot_;
 };
 
+/**
+ * The STALL / FLUSH fetch-gating schemes: ICOUNT ordering (rotation
+ * stably sorted by fetch-buffer occupancy), but a thread with an
+ * outstanding L1 load miss may not fetch at all. FLUSH additionally
+ * asks the Simulator to squash the gated thread's not-yet-dispatched
+ * fetch buffer, handing its dispatch slots to the other threads; the
+ * squashed instructions are replayed once the miss resolves.
+ *
+ * On the decoupled machine this gates the *AP's* runahead on miss
+ * pressure while the EP keeps draining its Instruction Queue — the
+ * gating never touches already-dispatched work.
+ */
+class GatingFetchPolicy final : public FetchPolicy
+{
+  public:
+    GatingFetchPolicy(PolicyKind kind, std::uint32_t nthreads)
+        : kind_(kind), rot_(nthreads)
+    {
+        MTDAE_ASSERT(kind == PolicyKind::Stall ||
+                         kind == PolicyKind::Flush,
+                     "GatingFetchPolicy built from a non-gating kind");
+    }
+
+    std::string_view name() const override { return policyName(kind_); }
+
+    void
+    fetchOrder(const std::vector<ThreadState> &threads,
+               std::vector<ThreadId> &out) override
+    {
+        rot_.rotationSortedBy(threads, keyFetchBuf, out);
+    }
+
+    bool
+    mayFetch(const ThreadState &t) const override
+    {
+        return t.outstandingMisses == 0;
+    }
+
+    bool
+    shouldFlush(const ThreadState &t) const override
+    {
+        return kind_ == PolicyKind::Flush && t.outstandingMisses > 0;
+    }
+
+    void endCycle() override { rot_.advance(); }
+
+  private:
+    PolicyKind kind_;
+    RotatingOrder rot_;
+};
+
+/**
+ * Per-unit arbitration exploiting the decoupled AP/EP split: the AP —
+ * the unit that *generates* miss traffic — visits threads with the
+ * fewest outstanding L1 load misses first (don't pile more runahead
+ * onto a thread already waiting on memory), while the EP — the unit
+ * that *drains* the decoupling queues — visits threads by trailing
+ * 64-cycle IQ occupancy, fewest first (reward threads that keep their
+ * IQ drained; a thread whose IQ has been backed up all window long is
+ * EP-bound and yields). Dispatch uses the front-end ICOUNT key, which
+ * balances the shared rename bandwidth.
+ */
+class SplitArbitrationPolicy final : public ArbitrationPolicy
+{
+  public:
+    explicit SplitArbitrationPolicy(std::uint32_t nthreads)
+        : rot_(nthreads)
+    {}
+
+    std::string_view
+    name() const override
+    {
+        return policyName(PolicyKind::Split);
+    }
+
+    void
+    dispatchOrder(const std::vector<ThreadState> &threads,
+                  std::vector<ThreadId> &out) override
+    {
+        rot_.rotationSortedBy(threads, keyFrontEnd, out);
+    }
+
+    void
+    issueOrder(Unit unit, const std::vector<ThreadState> &threads,
+               std::vector<ThreadId> &out) override
+    {
+        if (unit == Unit::AP)
+            rot_.rotationSortedBy(threads, keyMisses, out);
+        else
+            rot_.rotationSortedBy(threads, keyIqWindow, out);
+    }
+
+    void endCycle() override { rot_.advance(); }
+
+  private:
+    RotatingOrder rot_;
+};
+
 } // namespace
 
 std::unique_ptr<FetchPolicy>
 makeFetchPolicy(const SimConfig &cfg)
 {
+    MTDAE_ASSERT(policyIsFetch(cfg.fetchPolicy),
+                 "'", policyName(cfg.fetchPolicy),
+                 "' is not a fetch policy (SimConfig::validate "
+                 "should have rejected it)");
+    if (cfg.fetchPolicy == PolicyKind::Stall ||
+        cfg.fetchPolicy == PolicyKind::Flush)
+        return std::make_unique<GatingFetchPolicy>(cfg.fetchPolicy,
+                                                   cfg.numThreads);
     return std::make_unique<KeyedFetchPolicy>(cfg.fetchPolicy,
                                               cfg.numThreads);
 }
@@ -196,6 +313,12 @@ makeFetchPolicy(const SimConfig &cfg)
 std::unique_ptr<ArbitrationPolicy>
 makeArbitrationPolicy(const SimConfig &cfg)
 {
+    MTDAE_ASSERT(policyIsIssue(cfg.issuePolicy),
+                 "'", policyName(cfg.issuePolicy),
+                 "' is not a dispatch/issue policy (SimConfig::validate "
+                 "should have rejected it)");
+    if (cfg.issuePolicy == PolicyKind::Split)
+        return std::make_unique<SplitArbitrationPolicy>(cfg.numThreads);
     return std::make_unique<KeyedArbitrationPolicy>(cfg.issuePolicy,
                                                     cfg.numThreads);
 }

@@ -7,12 +7,19 @@
  * Two seams, consulted once per cycle each:
  *
  *  - FetchPolicy       — which threads get the I-cache ports this cycle,
- *                        and in what priority order.
+ *                        and in what priority order. Beyond ordering, a
+ *                        fetch policy can *gate*: mayFetch() vetoes a
+ *                        thread's fetch outright, and shouldFlush()
+ *                        asks the Simulator to squash the thread's
+ *                        not-yet-dispatched fetch buffer (the STALL /
+ *                        FLUSH schemes of the SMT fetch literature).
  *  - ArbitrationPolicy — the thread visit order for the shared dispatch
  *                        stage and for each issue unit (the slot
  *                        accounting consumes the *same* order the issue
  *                        stage used, so the Figure 3 attribution can
- *                        never drift from the arbitration).
+ *                        never drift from the arbitration). The Unit
+ *                        parameter lets a policy order the AP and the
+ *                        EP by different keys (the `split` policy).
  *
  * Determinism contract: a policy may keep private per-cycle state (the
  * round-robin rotation), but its output must be a pure function of that
@@ -40,29 +47,60 @@ namespace mtdae {
 
 /**
  * Read-only per-context snapshot handed to policies — the only state a
- * policy may base its ordering on.
+ * policy may base its ordering or gating on. Built by
+ * Context::policyState() at the start of each consulting pipeline
+ * stage (issue, dispatch, fetch), so within one stage every policy
+ * call sees the same values; a later stage of the same cycle sees the
+ * effects of the earlier stages. Each field below names the machine
+ * state it mirrors and the pipeline point that updates that state.
  */
 struct ThreadState
 {
+    /** Hardware context id; stable for the simulation's lifetime. */
     ThreadId tid = 0;
 
-    /** Fetched instructions pending dispatch (the ICOUNT key). */
+    /**
+     * Fetched instructions pending dispatch (the ICOUNT fetch key):
+     * Context::fetchBuf.size(). Grows at fetch, shrinks at dispatch,
+     * and drops to zero when a flush-gating policy squashes the buffer.
+     */
     std::uint32_t fetchBufOccupancy = 0;
-    /** AP pending-issue queue occupancy. */
+    /** AP pending-issue queue occupancy (Context::apQ.size()): grows
+     *  at dispatch, shrinks as the AP issues. */
     std::uint32_t apQueueOccupancy = 0;
-    /** EP Instruction Queue occupancy. */
+    /** EP Instruction Queue occupancy (Context::iq.size()) — the
+     *  decoupling queue: grows at dispatch, shrinks as the EP issues. */
     std::uint32_t iqOccupancy = 0;
-    /** Reorder-buffer occupancy. */
+    /** Reorder-buffer occupancy (Context::rob.size()): grows at
+     *  dispatch, shrinks at graduation. */
     std::uint32_t robOccupancy = 0;
-    /** Unresolved conditional branches (the BrCount key). */
+    /** Unresolved conditional branches (the BrCount key):
+     *  incremented at fetch, decremented at branch resolution
+     *  (writeback) and when a fetch-buffer flush squashes a
+     *  not-yet-dispatched branch. */
     std::uint32_t unresolvedBranches = 0;
-    /** Outstanding L1 load misses (the MissCount key), from the
-     *  per-thread PerceivedTracker the memory system feeds. */
+    /**
+     * Outstanding L1 load misses (the MissCount key and the
+     * stall/flush gating trigger): PerceivedTracker::outstanding(),
+     * incremented when a load misses the L1 at issue
+     * (PerceivedTracker::open()), decremented when the fill lands and
+     * the load completes (close() at writeback). Unaffected by
+     * statistics resets.
+     */
     std::uint32_t outstandingMisses = 0;
+    /**
+     * Sum of the per-cycle EP Instruction Queue occupancy samples over
+     * the trailing Context::kIqWindow (64) cycles — the `split`
+     * policy's EP drain-rate key. Sampled once per cycle at the end of
+     * Simulator::step(), so it is constant across all of a cycle's
+     * consulting stages and excludes the current cycle.
+     */
+    std::uint32_t iqOccupancyWindow = 0;
 
     /**
      * True when the thread may fetch this cycle: not gated on a
-     * mispredicted branch or redirect, trace not exhausted, fetch
+     * mispredicted branch or redirect, instructions remain (trace not
+     * exhausted, or flushed instructions awaiting replay), fetch
      * buffer not full. Computed by the Simulator; fetch policies
      * may use it but the Simulator re-checks it regardless.
      */
@@ -96,6 +134,37 @@ class FetchPolicy
      */
     virtual void fetchOrder(const std::vector<ThreadState> &threads,
                             std::vector<ThreadId> &out) = 0;
+
+    /**
+     * Gating veto: may thread @p t fetch at all this cycle? Consulted
+     * by the Simulator for every thread before the ranked walk hands
+     * out I-cache ports; a vetoed thread neither fetches nor consumes
+     * a port (ordering policies rank it, but the walk skips it — with
+     * a stable-sorted order that is equivalent to excluding it before
+     * ranking). Must be a pure function of @p t. Default: never veto.
+     */
+    virtual bool
+    mayFetch(const ThreadState &t) const
+    {
+        (void)t;
+        return true;
+    }
+
+    /**
+     * Squash request: should the Simulator flush thread @p t's
+     * not-yet-dispatched fetch buffer this cycle? Consulted at the
+     * start of the fetch stage, before ordering; on true the Simulator
+     * returns the buffered instructions to the front of the thread's
+     * stream for later re-fetch (Simulator::flushFetchBuffer) so their
+     * dispatch slots go to other threads. Must be a pure function of
+     * @p t. Default: never flush.
+     */
+    virtual bool
+    shouldFlush(const ThreadState &t) const
+    {
+        (void)t;
+        return false;
+    }
 
     /** Advance per-cycle state (rotations); called once per cycle. */
     virtual void endCycle() {}

@@ -1,9 +1,11 @@
 /**
  * @file
- * Doc-drift gate: README.md's experiment table and the `mtdae list`
- * registry must name exactly the same experiments, in both directions,
- * so a new experiment cannot ship undocumented and the README cannot
- * advertise a subcommand that no longer exists.
+ * Doc-drift gates: README.md's experiment table and the `mtdae list`
+ * registry must name exactly the same experiments, and
+ * docs/POLICIES.md's policy-reference table and `allPolicies()` must
+ * name exactly the same policies — in both directions each — so a new
+ * experiment or policy cannot ship undocumented and the docs cannot
+ * advertise one that no longer exists.
  */
 
 #include <gtest/gtest.h>
@@ -13,15 +15,17 @@
 #include <sstream>
 #include <string>
 
+#include "common/config.hh"
 #include "harness/cli.hh"
 
 namespace mtdae {
 namespace {
 
 std::string
-readmeText()
+docText(const std::string &relpath)
 {
-    const std::string path = std::string(MTDAE_SOURCE_DIR) + "/README.md";
+    const std::string path =
+        std::string(MTDAE_SOURCE_DIR) + "/" + relpath;
     std::ifstream is(path);
     EXPECT_TRUE(is.good()) << "cannot open " << path;
     std::ostringstream os;
@@ -29,21 +33,33 @@ readmeText()
     return os.str();
 }
 
+std::string
+readmeText()
+{
+    return docText("README.md");
+}
+
+std::string
+policiesText()
+{
+    return docText("docs/POLICIES.md");
+}
+
 /**
- * Experiment names from README.md: the first backtick-quoted token of
- * each table row between the "### Experiments" heading and the next
- * heading.
+ * First backtick-quoted token of each table row of the first table
+ * after the @p heading line in @p text (the README-experiments /
+ * POLICIES-reference table shape).
  */
 std::set<std::string>
-readmeExperiments()
+tableNames(const std::string &text, const std::string &heading)
 {
     std::set<std::string> names;
-    std::istringstream is(readmeText());
+    std::istringstream is(text);
     std::string line;
     bool in_section = false;
     bool in_table = false;
     while (std::getline(is, line)) {
-        if (line.rfind("### Experiments", 0) == 0) {
+        if (line.rfind(heading, 0) == 0) {
             in_section = true;
             continue;
         }
@@ -51,7 +67,7 @@ readmeExperiments()
             continue;
         const bool table_line = line.rfind("|", 0) == 0;
         if (in_table && !table_line)
-            break;  // only the section's first table lists experiments
+            break;  // only the section's first table lists names
         if (table_line)
             in_table = true;
         if (line.rfind("| `", 0) != 0)
@@ -62,6 +78,18 @@ readmeExperiments()
             names.insert(line.substr(open + 1, close - open - 1));
     }
     return names;
+}
+
+std::set<std::string>
+readmeExperiments()
+{
+    return tableNames(readmeText(), "### Experiments");
+}
+
+std::set<std::string>
+policiesTableNames()
+{
+    return tableNames(policiesText(), "## Policy reference");
 }
 
 std::set<std::string>
@@ -104,6 +132,66 @@ TEST(DocDrift, ReadmeDocumentsThePolicyFlags)
     EXPECT_NE(text.find("--fetch-policy"), std::string::npos);
     EXPECT_NE(text.find("--issue-policy"), std::string::npos);
     EXPECT_NE(text.find("ablate-policy"), std::string::npos);
+}
+
+TEST(DocDrift, ReadmeDocumentsTheGatingLayer)
+{
+    // The gating tentpole's user surface: the experiment (also locked
+    // by the table tests above, since ablate-gating is registered),
+    // the policy names, and the cookbook section.
+    const std::string text = readmeText();
+    EXPECT_NE(text.find("ablate-gating"), std::string::npos);
+    EXPECT_NE(text.find("`stall`"), std::string::npos);
+    EXPECT_NE(text.find("`flush`"), std::string::npos);
+    EXPECT_NE(text.find("`split`"), std::string::npos);
+    EXPECT_NE(text.find("Choosing a policy"), std::string::npos);
+    EXPECT_NE(text.find("docs/POLICIES.md"), std::string::npos);
+}
+
+TEST(DocDrift, PoliciesDocHasAReferenceTable)
+{
+    EXPECT_FALSE(policiesTableNames().empty())
+        << "docs/POLICIES.md lost its '## Policy reference' table";
+}
+
+TEST(DocDrift, EveryRegisteredPolicyIsInThePoliciesTable)
+{
+    const auto documented = policiesTableNames();
+    for (const PolicyKind k : allPolicies())
+        EXPECT_TRUE(documented.count(policyName(k)))
+            << "policy '" << policyName(k) << "' (allPolicies) is "
+            << "missing from docs/POLICIES.md's reference table";
+}
+
+TEST(DocDrift, EveryPoliciesTableRowNamesARegisteredPolicy)
+{
+    std::set<std::string> registered;
+    for (const PolicyKind k : allPolicies())
+        registered.insert(policyName(k));
+    for (const auto &name : policiesTableNames())
+        EXPECT_TRUE(registered.count(name))
+            << "docs/POLICIES.md documents policy '" << name
+            << "' but allPolicies() does not register it";
+}
+
+TEST(DocDrift, PoliciesDocCoversTheContracts)
+{
+    // The sections the policy layer's API guide exists to provide.
+    const std::string text = policiesText();
+    EXPECT_NE(text.find("mayFetch"), std::string::npos);
+    EXPECT_NE(text.find("shouldFlush"), std::string::npos);
+    EXPECT_NE(text.find("determinism contract"), std::string::npos);
+    EXPECT_NE(text.find("iqOccupancyWindow"), std::string::npos);
+    EXPECT_NE(text.find("Writing your own policy"), std::string::npos);
+}
+
+TEST(DocDrift, ArchitectureDocTracksTheGatingHooks)
+{
+    const std::string text = docText("docs/ARCHITECTURE.md");
+    EXPECT_NE(text.find("mayFetch"), std::string::npos);
+    EXPECT_NE(text.find("shouldFlush"), std::string::npos);
+    EXPECT_NE(text.find("`split`"), std::string::npos);
+    EXPECT_NE(text.find("ablate-gating"), std::string::npos);
 }
 
 } // namespace
