@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Ablation (ours, enabled by the checkpoint engine in
+ * src/core/snapshot.hh): what is warm-start prefix sharing worth? A
+ * sweep grid routinely varies only the *measure* budget or a
+ * post-warmup knob across points that share (config, seed, workload) —
+ * their warmup prefixes coincide, so the JobRunner can simulate the
+ * prefix once per group and fan the checkpoint out. This binary runs
+ * the same grid cold (every job re-simulates its own warmup) and warm
+ * (shared checkpoints), asserts the results are *exactly* equal — the
+ * restore-equivalence contract of tests/test_checkpoint.cc, exercised
+ * here at bench scale — and reports the wall-time and simulated
+ * instructions/second of both modes.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mtdae;
+
+namespace {
+
+/**
+ * The shared-prefix grid: per thread count, three points that differ
+ * only in measure budget. Each thread-count group gets one explicit
+ * seed stream so its members share a warmup prefix (the default
+ * index-derived seeds would make every prefixKey() unique).
+ */
+SweepSpec
+makeSpec(std::uint64_t insts)
+{
+    const std::vector<std::uint32_t> threads = {1, 2, 4};
+    const std::vector<std::uint64_t> mults = {1, 2, 4};
+
+    SweepSpec spec;
+    std::uint64_t stream = 0;
+    for (const std::uint32_t n : threads) {
+        SimConfig cfg = paperConfigSeeded(n, true, 16);
+        cfg.perfectL2 = false;
+        cfg.warmupInsts = 4000 * n;
+        for (const std::uint64_t m : mults)
+            spec.addSuiteMix(cfg, insts * n * m,
+                             std::to_string(n) + "T x" + std::to_string(m),
+                             stream);
+        ++stream;
+    }
+    return spec;
+}
+
+double
+millis(std::chrono::steady_clock::time_point a,
+       std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+bool
+sameResult(const RunResult &a, const RunResult &b)
+{
+    return a.cycles == b.cycles && a.insts == b.insts && a.ipc == b.ipc &&
+           a.perceivedFp == b.perceivedFp &&
+           a.perceivedInt == b.perceivedInt &&
+           a.perceivedAll == b.perceivedAll && a.fpMisses == b.fpMisses &&
+           a.intMisses == b.intMisses &&
+           a.loadMissRatio == b.loadMissRatio &&
+           a.storeMissRatio == b.storeMissRatio &&
+           a.missRatio == b.missRatio && a.mergedRatio == b.mergedRatio &&
+           a.busUtilization == b.busUtilization &&
+           a.avgFillLatency == b.avgFillLatency &&
+           a.l2MissRatio == b.l2MissRatio &&
+           a.dramRowHitRatio == b.dramRowHitRatio &&
+           a.dramBusUtilization == b.dramBusUtilization &&
+           a.ap.counts == b.ap.counts && a.ep.counts == b.ep.counts &&
+           a.mispredictRate == b.mispredictRate;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t insts = instsBudget(40000);
+    const SweepSpec spec = makeSpec(insts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<RunResult> cold =
+        JobRunner(envJobs(), false).run(spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::vector<RunResult> warm =
+        JobRunner(envJobs(), true).run(spec);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    std::uint64_t total_insts = 0;
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        if (!sameResult(cold[i], warm[i])) {
+            std::cerr << "FAIL: warm-started job '"
+                      << spec.jobs()[i].label
+                      << "' diverged from the cold run\n";
+            return 1;
+        }
+        total_insts += cold[i].insts;
+    }
+
+    const double cold_ms = millis(t0, t1);
+    const double warm_ms = millis(t1, t2);
+
+    TextTable t;
+    t.addRow({"mode", "wall ms", "Minsts/s", "speedup"});
+    std::vector<std::vector<std::string>> csv;
+    csv.push_back({"mode", "wall_ms", "insts", "insts_per_sec", "speedup"});
+    const auto emit = [&](const char *mode, double ms, double speedup) {
+        const double ips = ms > 0.0 ? double(total_insts) / (ms / 1e3)
+                                    : 0.0;
+        t.addRow({mode, TextTable::fmt(ms, 1), TextTable::fmt(ips / 1e6, 2),
+                  TextTable::fmt(speedup, 2)});
+        csv.push_back({mode, TextTable::fmt(ms, 1),
+                       std::to_string(total_insts), TextTable::fmt(ips, 0),
+                       TextTable::fmt(speedup, 2)});
+    };
+    emit("cold", cold_ms, 1.0);
+    emit("warm", warm_ms, warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+
+    emitTable("Ablation: warm-start prefix sharing (shared-warmup grid, "
+              "cold vs checkpointed; results byte-identical)",
+              t, csv, "ablation_checkpoint.csv");
+    return 0;
+}

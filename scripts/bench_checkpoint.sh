@@ -1,0 +1,102 @@
+#!/usr/bin/env sh
+# Benchmark warm-start prefix sharing: time `mtdae ablate-checkpoint`
+# (a grid whose points share warmup prefixes within each thread-count
+# group) cold (--warm-start=0, every job re-simulates its warmup)
+# versus warm (--warm-start=1, one checkpoint per group fans out),
+# verify the two runs produce byte-identical CSV (the checkpoint
+# restore-equivalence contract of tests/test_checkpoint.cc), and emit
+# BENCH_checkpoint.json with the wall-clock numbers, the speedup and
+# the simulated instructions/second of both modes.
+#
+# Usage: scripts/bench_checkpoint.sh [build-dir]   (default: build)
+#
+# Environment:
+#   MTDAE_JOBS    parallel worker count        (default: nproc)
+#   BENCH_INSTS   per-run instruction budget   (default: 20000)
+#   BENCH_WARMUP  shared warmup prefix length  (default: 4 * BENCH_INSTS)
+#   BENCH_OUT     output JSON path             (default: BENCH_checkpoint.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+MTDAE="$BUILD_DIR/mtdae"
+JOBS="${MTDAE_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+INSTS="${BENCH_INSTS:-20000}"
+WARMUP="${BENCH_WARMUP:-$(( INSTS * 4 ))}"
+OUT="${BENCH_OUT:-BENCH_checkpoint.json}"
+
+[ -x "$MTDAE" ] || { echo "error: $MTDAE not built" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Current time in milliseconds: nanosecond resolution where date
+# supports %N (GNU), whole seconds elsewhere (BSD prints a literal N).
+now_ms() {
+    ns=$(date +%s%N 2>/dev/null || echo x)
+    case "$ns" in
+        ''|*[!0-9]*) echo $(( $(date +%s) * 1000 )) ;;
+        *) echo $(( ns / 1000000 )) ;;
+    esac
+}
+
+# Milliseconds of wall clock spent running "$@".
+time_ms() {
+    start=$(now_ms)
+    "$@"
+    end=$(now_ms)
+    echo $(( end - start ))
+}
+
+# A long warmup relative to the measure budget is the regime the
+# checkpoint engine targets: the shared prefix dominates each job.
+echo "timing: mtdae ablate-checkpoint --insts=$INSTS" \
+     "--warmup-insts=$WARMUP ..." >&2
+COLD_MS=$(time_ms "$MTDAE" ablate-checkpoint --insts="$INSTS" \
+    --warmup-insts="$WARMUP" --warm-start=0 --quiet --jobs="$JOBS" \
+    --out="$TMP/cold")
+echo "  --warm-start=0: ${COLD_MS} ms" >&2
+WARM_MS=$(time_ms "$MTDAE" ablate-checkpoint --insts="$INSTS" \
+    --warmup-insts="$WARMUP" --warm-start=1 --quiet --jobs="$JOBS" \
+    --out="$TMP/warm")
+echo "  --warm-start=1: ${WARM_MS} ms" >&2
+
+if cmp -s "$TMP/cold/ablate_checkpoint.csv" \
+          "$TMP/warm/ablate_checkpoint.csv"; then
+    IDENTICAL=true
+else
+    IDENTICAL=false
+fi
+
+# Simulated (measured) instructions per run: sum of the CSV's insts
+# column — the same for both modes when the CSVs are identical.
+TOTAL_INSTS=$(awk -F, 'NR > 1 { t += $5 } END { printf "%d", t }' \
+    "$TMP/warm/ablate_checkpoint.csv")
+
+SPEEDUP=$(awk -v c="$COLD_MS" -v w="$WARM_MS" \
+    'BEGIN { printf "%.3f", (w > 0) ? c / w : 0 }')
+COLD_IPS=$(awk -v i="$TOTAL_INSTS" -v ms="$COLD_MS" \
+    'BEGIN { printf "%.0f", (ms > 0) ? i / (ms / 1000) : 0 }')
+WARM_IPS=$(awk -v i="$TOTAL_INSTS" -v ms="$WARM_MS" \
+    'BEGIN { printf "%.0f", (ms > 0) ? i / (ms / 1000) : 0 }')
+
+cat > "$OUT" <<EOF
+{
+  "experiment": "ablate-checkpoint",
+  "insts_per_run": $INSTS,
+  "warmup_insts": $WARMUP,
+  "jobs": $JOBS,
+  "cold_ms": $COLD_MS,
+  "warm_ms": $WARM_MS,
+  "speedup": $SPEEDUP,
+  "cold_insts_per_sec": $COLD_IPS,
+  "warm_insts_per_sec": $WARM_IPS,
+  "csv_identical": $IDENTICAL
+}
+EOF
+echo "wrote $OUT (speedup ${SPEEDUP}x, identical=$IDENTICAL)" >&2
+
+[ "$IDENTICAL" = true ] || {
+    echo "error: cold and warm-started CSVs differ" >&2
+    exit 1
+}

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -46,6 +47,29 @@ class Bht
 
     /** Reset counters’ statistics (the table contents are kept). */
     void resetStats() { outcome_.reset(); }
+
+    /** Serialize counters + statistics (mask is size-derived). */
+    void
+    save(ByteWriter &w) const
+    {
+        w.u64(table_.size());
+        for (const std::uint8_t c : table_)
+            w.u8(c);
+        w.u64(outcome_.num);
+        w.u64(outcome_.den);
+    }
+
+    /** Restore state saved by save(). */
+    void
+    restore(ByteReader &r)
+    {
+        if (r.u64() != table_.size())
+            throw SnapshotError("BHT size mismatch in snapshot");
+        for (std::uint8_t &c : table_)
+            c = r.u8();
+        outcome_.num = r.u64();
+        outcome_.den = r.u64();
+    }
 
   private:
     std::size_t index(Addr pc) const { return (pc >> 2) & mask_; }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -48,6 +49,31 @@ class Gshare
 
     /** Reset the statistics (table and history are kept). */
     void resetStats() { outcome_.reset(); }
+
+    /** Serialize counters, global history and statistics. */
+    void
+    save(ByteWriter &w) const
+    {
+        w.u64(table_.size());
+        for (const std::uint8_t c : table_)
+            w.u8(c);
+        w.u64(history_);
+        w.u64(outcome_.num);
+        w.u64(outcome_.den);
+    }
+
+    /** Restore state saved by save(). */
+    void
+    restore(ByteReader &r)
+    {
+        if (r.u64() != table_.size())
+            throw SnapshotError("gshare size mismatch in snapshot");
+        for (std::uint8_t &c : table_)
+            c = r.u8();
+        history_ = r.u64();
+        outcome_.num = r.u64();
+        outcome_.den = r.u64();
+    }
 
   private:
     std::size_t

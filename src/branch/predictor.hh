@@ -39,6 +39,12 @@ class BranchPredictor
 
     /** Mispredict fraction over the current interval. */
     virtual double mispredictRate() const = 0;
+
+    /** Serialize tables + statistics (checkpointing). */
+    virtual void save(ByteWriter &w) const = 0;
+
+    /** Restore state saved by save(). */
+    virtual void restore(ByteReader &r) = 0;
 };
 
 /** The paper's 2K x 2-bit bimodal BHT. */
@@ -57,6 +63,8 @@ class BimodalPredictor : public BranchPredictor
     {
         return bht_.mispredictRate();
     }
+    void save(ByteWriter &w) const override { bht_.save(w); }
+    void restore(ByteReader &r) override { bht_.restore(r); }
 
   private:
     Bht bht_;
@@ -81,6 +89,8 @@ class GsharePredictor : public BranchPredictor
     {
         return gshare_.mispredictRate();
     }
+    void save(ByteWriter &w) const override { gshare_.save(w); }
+    void restore(ByteReader &r) override { gshare_.restore(r); }
 
   private:
     Gshare gshare_;

@@ -71,6 +71,16 @@ class Rng
         return uniformDouble() < p;
     }
 
+    /** The raw generator state (for checkpointing). */
+    const std::array<std::uint64_t, 4> &state() const { return state_; }
+
+    /** Overwrite the generator state (checkpoint restore). */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        state_ = s;
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

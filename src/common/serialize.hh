@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Byte-level serialization primitives for the checkpoint subsystem
+ * (src/core/snapshot.hh): an append-only little-endian writer, a
+ * bounds-checked sequential reader, and the FNV-1a hash the versioned
+ * snapshot container uses for its payload checksum and config keys.
+ *
+ * Every simulator component that participates in checkpointing exposes
+ *     void save(ByteWriter &) const;
+ *     void restore(ByteReader &);
+ * writing each field explicitly (never memcpy of structs), so the byte
+ * form is independent of host padding and stable across compilers.
+ * Format errors — truncation, overrun — throw SnapshotError rather than
+ * panic: a corrupt snapshot is bad *input*, not a simulator bug, and
+ * the sweep engine's job-error plumbing already propagates exceptions.
+ */
+
+#ifndef MTDAE_COMMON_SERIALIZE_HH
+#define MTDAE_COMMON_SERIALIZE_HH
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mtdae {
+
+/** A malformed, truncated or incompatible serialized snapshot. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * Append-only little-endian byte sink.
+ */
+class ByteWriter
+{
+  public:
+    /** Append one byte. */
+    void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+    /** Append a bool as one byte (0 or 1). */
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Append a 16-bit value, little-endian. */
+    void
+    u16(std::uint16_t v)
+    {
+        u8(std::uint8_t(v));
+        u8(std::uint8_t(v >> 8));
+    }
+
+    /** Append a 32-bit value, little-endian. */
+    void
+    u32(std::uint32_t v)
+    {
+        u16(std::uint16_t(v));
+        u16(std::uint16_t(v >> 16));
+    }
+
+    /** Append a 64-bit value, little-endian. */
+    void
+    u64(std::uint64_t v)
+    {
+        u32(std::uint32_t(v));
+        u32(std::uint32_t(v >> 32));
+    }
+
+    /** Append a signed 32-bit value (two's complement bytes). */
+    void i32(std::int32_t v) { u32(std::uint32_t(v)); }
+
+    /** Append a double by bit pattern. */
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    /** Append a length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        for (const char c : s)
+            u8(std::uint8_t(c));
+    }
+
+    /** The accumulated bytes. */
+    const std::vector<std::uint8_t> &data() const { return bytes_; }
+
+    /** Move the accumulated bytes out. */
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Sequential bounds-checked reader over a byte buffer (not owned).
+ * Throws SnapshotError on overrun.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit ByteReader(const std::vector<std::uint8_t> &bytes)
+        : ByteReader(bytes.data(), bytes.size())
+    {}
+
+    /** Read one byte. */
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    /** Read a bool (any non-zero byte is true). */
+    bool b() { return u8() != 0; }
+
+    /** Read a little-endian 16-bit value. */
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return std::uint16_t(lo | (std::uint16_t(u8()) << 8));
+    }
+
+    /** Read a little-endian 32-bit value. */
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | (std::uint32_t(u16()) << 16);
+    }
+
+    /** Read a little-endian 64-bit value. */
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (std::uint64_t(u32()) << 32);
+    }
+
+    /** Read a signed 32-bit value. */
+    std::int32_t i32() { return std::int32_t(u32()); }
+
+    /** Read a double by bit pattern. */
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    /** Read a length-prefixed string. */
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      std::size_t(n));
+        pos_ += std::size_t(n);
+        return s;
+    }
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return size_ - pos_; }
+
+    /** True when every byte has been consumed. */
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    void
+    need(std::uint64_t n) const
+    {
+        if (n > size_ - pos_)
+            throw SnapshotError(
+                "snapshot truncated: need " + std::to_string(n) +
+                " byte(s) at offset " + std::to_string(pos_) +
+                " of " + std::to_string(size_));
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** FNV-1a 64-bit hash of @p size bytes, chainable through @p seed. */
+inline std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size,
+      std::uint64_t seed = 1469598103934665603ULL)
+{
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** FNV-1a 64-bit hash of a byte vector. */
+inline std::uint64_t
+fnv1a(const std::vector<std::uint8_t> &bytes,
+      std::uint64_t seed = 1469598103934665603ULL)
+{
+    return fnv1a(bytes.data(), bytes.size(), seed);
+}
+
+} // namespace mtdae
+
+#endif // MTDAE_COMMON_SERIALIZE_HH

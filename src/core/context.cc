@@ -1,8 +1,83 @@
 #include "core/context.hh"
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace mtdae {
+
+namespace {
+
+void
+saveTraceInst(ByteWriter &w, const TraceInst &ti)
+{
+    w.u8(std::uint8_t(ti.op));
+    w.u8(std::uint8_t(ti.dst.cls));
+    w.u8(ti.dst.idx);
+    for (const RegRef &s : ti.src) {
+        w.u8(std::uint8_t(s.cls));
+        w.u8(s.idx);
+    }
+    w.u64(ti.pc);
+    w.u64(ti.addr);
+    w.b(ti.taken);
+}
+
+TraceInst
+restoreTraceInst(ByteReader &r)
+{
+    TraceInst ti;
+    ti.op = Opcode(r.u8());
+    ti.dst.cls = RegClass(r.u8());
+    ti.dst.idx = r.u8();
+    for (RegRef &s : ti.src) {
+        s.cls = RegClass(r.u8());
+        s.idx = r.u8();
+    }
+    ti.pc = r.u64();
+    ti.addr = r.u64();
+    ti.taken = r.b();
+    return ti;
+}
+
+void
+saveDynInst(ByteWriter &w, const DynInst &di)
+{
+    saveTraceInst(w, di.ti);
+    w.u64(di.seq);
+    w.u8(std::uint8_t(di.unit));
+    w.u8(std::uint8_t(di.state));
+    w.u16(di.physDst);
+    w.u16(di.oldPhysDst);
+    for (const PhysReg p : di.physSrc)
+        w.u16(p);
+    w.u64(di.dispatchedAt);
+    w.u64(di.readyAt);
+    w.b(di.mispredicted);
+    w.b(di.loadMissed);
+    w.b(di.forwarded);
+    w.u32(di.missToken);
+}
+
+void
+restoreDynInst(ByteReader &r, DynInst &di)
+{
+    di.ti = restoreTraceInst(r);
+    di.seq = r.u64();
+    di.unit = Unit(r.u8());
+    di.state = InstState(r.u8());
+    di.physDst = r.u16();
+    di.oldPhysDst = r.u16();
+    for (PhysReg &p : di.physSrc)
+        p = r.u16();
+    di.dispatchedAt = r.u64();
+    di.readyAt = r.u64();
+    di.mispredicted = r.b();
+    di.loadMissed = r.b();
+    di.forwarded = r.b();
+    di.missToken = r.u32();
+}
+
+} // namespace
 
 RegFile::RegFile(std::uint32_t arch_regs, std::uint32_t phys_regs)
     : ready_(phys_regs, 1),
@@ -139,6 +214,167 @@ Context::policyState(const SimConfig &cfg, Cycle now) const
                       (!replayQ.empty() || !traceDone || hasPending) &&
                       fetchBuf.size() < cfg.fetchBufferSize;
     return s;
+}
+
+void
+RegFile::save(ByteWriter &w) const
+{
+    w.u64(ready_.size());
+    for (const std::uint8_t rdy : ready_)
+        w.u8(rdy);
+    for (const Producer &p : producer_) {
+        w.u8(std::uint8_t(p.kind));
+        w.u32(p.missToken);
+    }
+    w.u64(freeList_.size());
+    for (const PhysReg r : freeList_)
+        w.u16(r);
+    w.u64(map_.size());
+    for (const PhysReg r : map_)
+        w.u16(r);
+}
+
+void
+RegFile::restore(ByteReader &r)
+{
+    if (r.u64() != ready_.size())
+        throw SnapshotError("physical register count mismatch in snapshot");
+    for (std::uint8_t &rdy : ready_)
+        rdy = r.u8();
+    for (Producer &p : producer_) {
+        p.kind = Producer::Kind(r.u8());
+        p.missToken = r.u32();
+    }
+    freeList_.resize(r.u64());
+    for (PhysReg &reg : freeList_)
+        reg = r.u16();
+    if (r.u64() != map_.size())
+        throw SnapshotError("map table size mismatch in snapshot");
+    for (PhysReg &reg : map_)
+        reg = r.u16();
+}
+
+std::size_t
+Context::robIndexOf(const DynInst *di) const
+{
+    for (std::size_t i = 0; i < rob.size(); ++i)
+        if (&rob[i] == di)
+            return i;
+    MTDAE_PANIC("queue entry points outside its thread's ROB");
+}
+
+void
+Context::save(ByteWriter &w) const
+{
+    source->save(w);
+
+    w.u64(fetchBuf.size());
+    for (const FetchedInst &fi : fetchBuf) {
+        saveTraceInst(w, fi.ti);
+        w.u64(fi.seq);
+        w.b(fi.mispredicted);
+    }
+    w.u64(replayQ.size());
+    for (const TraceInst &ti : replayQ)
+        saveTraceInst(w, ti);
+    saveTraceInst(w, pendingInst);
+    w.b(hasPending);
+    w.b(traceDone);
+    w.u32(unresolvedBranches);
+    w.b(fetchBlocked);
+    w.u64(blockingBranchSeq);
+    w.u64(fetchResumeAt);
+    predictor->save(w);
+
+    intRegs.save(w);
+    fpRegs.save(w);
+
+    w.u64(rob.size());
+    for (const DynInst &di : rob)
+        saveDynInst(w, di);
+    w.u64(apQ.size());
+    for (const DynInst *di : apQ)
+        w.u64(robIndexOf(di));
+    w.u64(iq.size());
+    for (const DynInst *di : iq)
+        w.u64(robIndexOf(di));
+    w.u64(saq.size());
+    for (const SaqEntry &e : saq) {
+        w.u64(robIndexOf(e.inst));
+        w.u64(e.seq);
+        w.b(e.addrValid);
+        w.u64(e.addr);
+    }
+
+    w.u64(nextSeq);
+    w.u64(nextIssueSeq);
+    perceived.save(w);
+    w.u64(graduated);
+
+    for (const std::uint32_t s : iqSamples)
+        w.u32(s);
+    w.u32(iqSampleAt);
+    w.u32(iqWindowSum);
+}
+
+void
+Context::restore(ByteReader &r)
+{
+    source->restore(r);
+
+    fetchBuf.resize(r.u64());
+    for (FetchedInst &fi : fetchBuf) {
+        fi.ti = restoreTraceInst(r);
+        fi.seq = r.u64();
+        fi.mispredicted = r.b();
+    }
+    replayQ.resize(r.u64());
+    for (TraceInst &ti : replayQ)
+        ti = restoreTraceInst(r);
+    pendingInst = restoreTraceInst(r);
+    hasPending = r.b();
+    traceDone = r.b();
+    unresolvedBranches = r.u32();
+    fetchBlocked = r.b();
+    blockingBranchSeq = r.u64();
+    fetchResumeAt = r.u64();
+    predictor->restore(r);
+
+    intRegs.restore(r);
+    fpRegs.restore(r);
+
+    rob.resize(r.u64());
+    for (DynInst &di : rob)
+        restoreDynInst(r, di);
+    auto readRobPtr = [&]() -> DynInst * {
+        const std::uint64_t idx = r.u64();
+        if (idx >= rob.size())
+            throw SnapshotError("ROB index out of range in snapshot");
+        return &rob[std::size_t(idx)];
+    };
+    apQ.resize(r.u64());
+    for (DynInst *&di : apQ)
+        di = readRobPtr();
+    iq.resize(r.u64());
+    for (DynInst *&di : iq)
+        di = readRobPtr();
+    saq.resize(r.u64());
+    for (SaqEntry &e : saq) {
+        e.inst = readRobPtr();
+        e.seq = r.u64();
+        e.addrValid = r.b();
+        e.addr = r.u64();
+    }
+
+    nextSeq = r.u64();
+    nextIssueSeq = r.u64();
+    perceived.restore(r);
+    graduated = r.u64();
+
+    for (std::uint32_t &s : iqSamples)
+        s = r.u32();
+    iqSampleAt = r.u32();
+    iqWindowSum = r.u32();
 }
 
 bool

@@ -86,6 +86,12 @@ class RegFile
     /** Total physical registers. */
     std::size_t size() const { return ready_.size(); }
 
+    /** Serialize scoreboard, producers, free list and map table. */
+    void save(ByteWriter &w) const;
+
+    /** Restore state saved by save(). */
+    void restore(ByteReader &r);
+
   private:
     std::vector<std::uint8_t> ready_;
     std::vector<Producer> producer_;
@@ -229,6 +235,22 @@ struct Context
      * @param now current cycle (redirect-gate check)
      */
     ThreadState policyState(const SimConfig &cfg, Cycle now) const;
+
+    /**
+     * Serialize the context's complete mutable state. The apQ/iq/saq
+     * queues and any in-flight events reference DynInsts by pointer
+     * into the ROB deque; they are serialized as ROB *indices* and the
+     * pointers are rebuilt on restore (the ROB deque only ever grows
+     * at the back and shrinks at the front, so indices are stable
+     * identifiers within one serialized image).
+     */
+    void save(ByteWriter &w) const;
+
+    /** Restore state saved by save() onto an identically built context. */
+    void restore(ByteReader &r);
+
+    /** ROB index of @p di, for pointer fixup (MTDAE_ASSERTs presence). */
+    std::size_t robIndexOf(const DynInst *di) const;
 };
 
 } // namespace mtdae

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace mtdae {
 
@@ -110,6 +111,51 @@ class PerceivedTracker
     {
         intStalls_ = fpStalls_ = 0;
         intMisses_ = fpMisses_ = 0;
+    }
+
+    /**
+     * Serialize the complete tracker state. The slot array and free
+     * list are written verbatim (not compacted): token values live in
+     * DynInst::missToken and MSHR frames across the checkpoint, and
+     * the free-list order decides which token open() hands out next.
+     */
+    void
+    save(ByteWriter &w) const
+    {
+        w.u64(slots_.size());
+        for (const Slot &s : slots_) {
+            w.u64(s.stalls);
+            w.b(s.isInt);
+            w.b(s.active);
+        }
+        w.u64(free_.size());
+        for (const std::uint32_t tok : free_)
+            w.u32(tok);
+        w.u32(outstanding_);
+        w.u64(intStalls_);
+        w.u64(fpStalls_);
+        w.u64(intMisses_);
+        w.u64(fpMisses_);
+    }
+
+    /** Restore state saved by save(). */
+    void
+    restore(ByteReader &r)
+    {
+        slots_.resize(r.u64());
+        for (Slot &s : slots_) {
+            s.stalls = r.u64();
+            s.isInt = r.b();
+            s.active = r.b();
+        }
+        free_.resize(r.u64());
+        for (std::uint32_t &tok : free_)
+            tok = r.u32();
+        outstanding_ = r.u32();
+        intStalls_ = r.u64();
+        fpStalls_ = r.u64();
+        intMisses_ = r.u64();
+        fpMisses_ = r.u64();
     }
 
   private:

@@ -592,27 +592,46 @@ Simulator::snapshot() const
     return r;
 }
 
-RunResult
-Simulator::run(std::uint64_t measure_insts, std::uint64_t max_cycles)
-{
-    auto guard = [&]() {
-        if (now_ - lastGraduation_ > 1000000)
-            MTDAE_PANIC("no graduation for 1M cycles at cycle ", now_,
-                        " — pipeline deadlock");
-    };
+namespace {
 
+/** Deadlock guard shared by the run loops. */
+void
+guardProgress(Cycle now, Cycle last_graduation)
+{
+    if (now - last_graduation > 1000000)
+        MTDAE_PANIC("no graduation for 1M cycles at cycle ", now,
+                    " — pipeline deadlock");
+}
+
+} // namespace
+
+void
+Simulator::runWarmup(std::uint64_t max_cycles)
+{
     while (totalGraduated_ < cfg_.warmupInsts && now_ < max_cycles &&
            !allDone()) {
         step();
-        guard();
+        guardProgress(now_, lastGraduation_);
     }
+}
+
+RunResult
+Simulator::runMeasure(std::uint64_t measure_insts, std::uint64_t max_cycles)
+{
     resetStats();
     const std::uint64_t target = totalGraduated_ + measure_insts;
     while (totalGraduated_ < target && now_ < max_cycles && !allDone()) {
         step();
-        guard();
+        guardProgress(now_, lastGraduation_);
     }
     return snapshot();
+}
+
+RunResult
+Simulator::run(std::uint64_t measure_insts, std::uint64_t max_cycles)
+{
+    runWarmup(max_cycles);
+    return runMeasure(measure_insts, max_cycles);
 }
 
 } // namespace mtdae

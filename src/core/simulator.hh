@@ -43,6 +43,8 @@
 
 namespace mtdae {
 
+struct Snapshot;
+
 /**
  * Aggregated results of a measured simulation interval.
  */
@@ -100,6 +102,33 @@ class Simulator
     RunResult run(std::uint64_t measure_insts,
                   std::uint64_t max_cycles = std::uint64_t(1) << 40);
 
+    /**
+     * Run just the warm-up phase (cfg.warmupInsts graduations). run()
+     * is exactly runWarmup() followed by runMeasure(), split out so the
+     * sweep engine can checkpoint between the phases.
+     */
+    void runWarmup(std::uint64_t max_cycles = std::uint64_t(1) << 40);
+
+    /** Reset statistics and run the measured interval (see run()). */
+    RunResult runMeasure(std::uint64_t measure_insts,
+                         std::uint64_t max_cycles = std::uint64_t(1) << 40);
+
+    /**
+     * Capture the complete mutable simulator state as a versioned
+     * snapshot (src/core/snapshot.hh). Restoring it into a Simulator
+     * constructed from the same configuration and workload recipe
+     * resumes the simulation byte-identically.
+     */
+    Snapshot saveSnapshot() const;
+
+    /**
+     * Restore state captured by saveSnapshot(). This simulator must
+     * have been constructed with the same configuration (enforced via
+     * the snapshot's config hash) and the same workload; throws
+     * SnapshotError otherwise.
+     */
+    void restoreSnapshot(const Snapshot &snap);
+
     /** Advance one cycle (exposed for unit tests). */
     void step();
 
@@ -149,6 +178,22 @@ class Simulator
         }
     };
 
+    /**
+     * The completion event queue, exposing the underlying heap array
+     * for checkpointing: serializing the array verbatim (instead of
+     * draining/re-pushing) preserves the exact heap layout, so
+     * same-cycle tie-breaks — and therefore the simulation — are
+     * byte-identical after a restore, and save→restore→save round
+     * trips are byte-stable.
+     */
+    struct EventQueue
+        : std::priority_queue<Event, std::vector<Event>,
+                              std::greater<Event>>
+    {
+        const std::vector<Event> &heap() const { return c; }
+        std::vector<Event> &heap() { return c; }
+    };
+
     void processCompletions();
     void issueStage();
     /** @return instructions issued; decrements @p slots. */
@@ -183,8 +228,7 @@ class Simulator
     SimConfig cfg_;
     MemorySystem mem_;
     std::vector<std::unique_ptr<Context>> contexts_;
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        events_;
+    EventQueue events_;
 
     Cycle now_ = 0;
 

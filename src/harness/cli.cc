@@ -174,6 +174,8 @@ knobs()
         {"dram-bus-cycles", u32(&SimConfig::dramBusCycles)},
         {"seed", u64(&SimConfig::seed)},
         {"warmup", u64(&SimConfig::warmupInsts)},
+        // Alias of --warmup: the checkpoint docs spell the knob out.
+        {"warmup-insts", u64(&SimConfig::warmupInsts)},
     };
     return k;
 }
@@ -213,7 +215,7 @@ makeCfg(const Options &opts, std::uint32_t threads, bool decoupled,
 std::vector<RunResult>
 runSweep(const SweepSpec &spec, const Options &opts, std::ostream &err)
 {
-    const JobRunner runner(opts.jobs);
+    const JobRunner runner(opts.jobs, opts.warmStart);
     JobRunner::Progress on_start;
     if (!opts.quiet)
         on_start = [&err](const SimJob &job) {
@@ -897,6 +899,52 @@ expAblateGating(const Options &opts, std::ostream &err)
     return rs;
 }
 
+/**
+ * The warm-start fan-out grid: per thread count, three points that
+ * differ only in measure budget, all on one explicit seed stream so
+ * the group shares a warmup prefix (SimJob::prefixKey()). With
+ * --warm-start=1 (the default) each group simulates its warmup once
+ * and fans the checkpoint out; with --warm-start=0 every point runs
+ * cold. The rows are byte-identical either way — that contract is
+ * what scripts/bench_checkpoint.sh times and verifies.
+ */
+ResultSet
+expAblateCheckpoint(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_checkpoint";
+    rs.header = {"threads", "measure_x", "ipc", "cycles", "insts"};
+    const std::uint64_t insts = budget(opts, 60000);
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 16 : opts.latencies.front();
+    const auto threads = sweepOr(opts.threads, {1, 2, 4});
+    const std::vector<std::uint64_t> mults = {1, 2, 4};
+    SweepSpec spec;
+    std::uint64_t stream = 0;
+    for (const std::uint32_t n : threads) {
+        const SimConfig cfg = makeCfg(opts, n, true, lat);
+        for (const std::uint64_t m : mults)
+            spec.addSuiteMix(cfg, insts * n * m,
+                             std::to_string(n) + "T x" +
+                                 std::to_string(m),
+                             stream);
+        ++stream;
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const std::uint32_t n : threads) {
+        for (const std::uint64_t m : mults) {
+            const RunResult &r = results.at(k++);
+            rs.rows.push_back({std::to_string(n), std::to_string(m),
+                               fmt(r.ipc), std::to_string(r.cycles),
+                               std::to_string(r.insts)});
+        }
+    }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
+    return rs;
+}
+
 using ExperimentFn = ResultSet (*)(const Options &, std::ostream &);
 
 struct Entry
@@ -939,6 +987,9 @@ registry()
         {{"ablate-gating",
           "fetch gating (stall/flush) x L2 size on the DRAM backend"},
          expAblateGating},
+        {{"ablate-checkpoint",
+          "warm-start fan-out grid (shared warmup checkpoints)"},
+         expAblateCheckpoint},
     };
     return entries;
 }
@@ -1097,6 +1148,13 @@ parseArgs(const std::vector<std::string> &args, Options &opts,
                         "' (need a worker count >= 1)";
                 return false;
             }
+        } else if (key == "warm-start") {
+            if (!has_value) {
+                opts.warmStart = true;
+            } else if (!parseBool(value, opts.warmStart)) {
+                error = "bad --warm-start '" + value + "'";
+                return false;
+            }
         } else if (has_value) {
             if (!applyOverride(scratch, key, value, error))
                 return false;
@@ -1204,6 +1262,12 @@ printHelp(std::ostream &os)
           "  --jobs=N          sweep worker threads (default: hardware"
           " concurrency);\n"
           "                    results are identical at any N\n"
+          "  --warm-start[=B]  share warmup checkpoints between sweep"
+          " points with\n"
+          "                    identical prefixes (default: on);"
+          " --warm-start=0\n"
+          "                    re-simulates every warmup; results are\n"
+          "                    byte-identical either way\n"
           "  --seed=S          base RNG seed; each sweep point derives"
           " its own\n"
           "                    deterministic seed from S and its grid"
@@ -1232,6 +1296,8 @@ printHelp(std::ostream &os)
           "  mtdae ablate-l2 --threads-list=4 --json\n"
           "  mtdae ablate-policy --threads-list=1,4 --latencies=64\n"
           "  mtdae ablate-gating --threads-list=2,4 --latencies=64\n"
+          "  mtdae ablate-checkpoint --warmup-insts=20000"
+          " --warm-start=1\n"
           "  mtdae fig5 --issue-policy=misscount --quiet\n"
           "  mtdae fig5 --fetch-policy=stall --issue-policy=split\n"
           "  mtdae run --bench=tomcatv --threads=4 --l2-latency=64\n";

@@ -55,6 +55,15 @@ struct Options
      */
     std::uint32_t jobs = 0;
 
+    /**
+     * Warm-start prefix sharing (--warm-start[=bool]): sweep points
+     * with identical warmup prefixes fan out from one checkpoint
+     * (JobRunner, docs/CHECKPOINT.md). Results are byte-identical
+     * either way; --warm-start=0 forces every job to simulate its own
+     * warmup, for timing comparisons.
+     */
+    bool warmStart = true;
+
     /** Suppress the human-readable table on stdout. */
     bool quiet = false;
 

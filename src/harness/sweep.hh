@@ -43,6 +43,7 @@
 
 #include "common/config.hh"
 #include "core/simulator.hh"
+#include "core/snapshot.hh"
 #include "workload/trace_source.hh"
 
 namespace mtdae {
@@ -99,6 +100,30 @@ struct SimJob
      * safe to call from any thread, any number of times.
      */
     RunResult run() const;
+
+    /**
+     * Run only the warm-up phase of this point and checkpoint the
+     * state. Jobs with equal prefixKey() produce byte-identical
+     * snapshots, so one warmup can fan out to all of them.
+     */
+    Snapshot runWarmup() const;
+
+    /**
+     * Execute this point warm-started from @p prefix (a snapshot
+     * produced by runWarmup() on a job with the same prefixKey()).
+     * run() == runMeasured(runWarmup()) byte for byte: run() is the
+     * composition of the same two loops on the same simulator.
+     */
+    RunResult runMeasured(const Snapshot &prefix) const;
+
+    /**
+     * Canonical warm-start prefix key: the hash of the full serialized
+     * configuration (which includes the per-job seed and warmupInsts)
+     * chained with the workload factory's fingerprint. Jobs with equal
+     * keys reach byte-identical states after warm-up regardless of
+     * their measure budgets, so they may share one checkpoint.
+     */
+    std::uint64_t prefixKey() const;
 };
 
 /**
@@ -113,27 +138,41 @@ class SweepSpec
 {
   public:
     /**
+     * Seed-stream sentinel: derive the job's seed from its grid index
+     * (the default, giving every point an independent random stream).
+     * Pass an explicit stream id instead to give several points the
+     * *same* derived seed — the warm-start fan-out needs grid
+     * neighbours that share (config, seed, workload) so their warmup
+     * prefixes coincide (SimJob::prefixKey()).
+     */
+    static constexpr std::uint64_t kSeedFromIndex = ~std::uint64_t(0);
+
+    /**
      * Append one point. @p cfg.seed is treated as the base seed and
-     * rewritten to deriveSeed(base, index) on the stored job; the
-     * configuration is validated here, on the caller's thread, so a
-     * bad point fatal()s before any worker starts.
+     * rewritten to deriveSeed(base, seed_stream) on the stored job
+     * (stream = the job's grid index under the kSeedFromIndex
+     * default); the configuration is validated here, on the caller's
+     * thread, so a bad point fatal()s before any worker starts.
      *
      * @return the stored job; the reference is invalidated by the
      *         next add*() call (it points into the grid vector)
      */
     SimJob &add(const SimConfig &cfg,
                 std::unique_ptr<TraceSourceFactory> sources,
-                std::uint64_t measure_insts, std::string label = "");
+                std::uint64_t measure_insts, std::string label = "",
+                std::uint64_t seed_stream = kSeedFromIndex);
 
     /** Append a suite-mix point (the paper's Section 3 workload). */
     SimJob &addSuiteMix(const SimConfig &cfg,
                         std::uint64_t measure_insts,
-                        std::string label = "");
+                        std::string label = "",
+                        std::uint64_t seed_stream = kSeedFromIndex);
 
     /** Append a single-benchmark point (the Figure 1 workload shape). */
     SimJob &addBenchmark(const SimConfig &cfg, const std::string &bench,
                          std::uint64_t measure_insts,
-                         std::string label = "");
+                         std::string label = "",
+                         std::uint64_t seed_stream = kSeedFromIndex);
 
     /** The grid, in result order. */
     const std::vector<SimJob> &jobs() const { return jobs_; }
@@ -164,11 +203,22 @@ class JobRunner
     /** Serialized per-job callback, invoked as a worker starts a job. */
     using Progress = std::function<void(const SimJob &)>;
 
-    /** @param workers pool size; 0 means defaultJobs() */
-    explicit JobRunner(std::uint32_t workers = 0);
+    /**
+     * @param workers    pool size; 0 means defaultJobs()
+     * @param warm_start share warmup prefixes: jobs with equal
+     *        SimJob::prefixKey() (and a non-zero warmup) fan out from
+     *        one lazily created checkpoint instead of each
+     *        re-simulating the prefix. Results are byte-identical
+     *        either way (the checkpoint restore-equivalence contract,
+     *        tests/test_checkpoint.cc); only wall time changes.
+     */
+    explicit JobRunner(std::uint32_t workers = 0, bool warm_start = true);
 
     /** The resolved pool size (>= 1). */
     std::uint32_t workers() const { return workers_; }
+
+    /** True when warm-start prefix sharing is enabled. */
+    bool warmStart() const { return warmStart_; }
 
     /**
      * Run every job of @p spec; @p on_start (when set) is called under
@@ -181,6 +231,7 @@ class JobRunner
 
   private:
     std::uint32_t workers_;
+    bool warmStart_;
 };
 
 /** Worker count matching the hardware: hardware_concurrency, >= 1. */

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace mtdae {
@@ -61,6 +62,26 @@ class Bus
         if (now <= statsStart_)
             return 0.0;
         return double(busy_ - busyAtStart_) / double(now - statsStart_);
+    }
+
+    /** Serialize the full bus state (reservation edge + counters). */
+    void
+    save(ByteWriter &w) const
+    {
+        w.u64(freeAt_);
+        w.u64(busy_);
+        w.u64(statsStart_);
+        w.u64(busyAtStart_);
+    }
+
+    /** Restore state saved by save(). */
+    void
+    restore(ByteReader &r)
+    {
+        freeAt_ = r.u64();
+        busy_ = r.u64();
+        statsStart_ = r.u64();
+        busyAtStart_ = r.u64();
     }
 
   private:

@@ -87,4 +87,39 @@ Dram::resetStats(Cycle now)
     bus_.resetStats(now);
 }
 
+void
+Dram::save(ByteWriter &w) const
+{
+    w.u64(banks_.size());
+    for (const Bank &b : banks_) {
+        w.u64(b.openRow);
+        w.b(b.rowOpen);
+        w.u64(b.freeAt);
+    }
+    bus_.save(w);
+    w.u64(stats_.rowHit.num);
+    w.u64(stats_.rowHit.den);
+    w.u64(stats_.reads);
+    w.u64(stats_.writes);
+    w.u64(stats_.bankConflictCycles);
+}
+
+void
+Dram::restore(ByteReader &r)
+{
+    if (r.u64() != banks_.size())
+        throw SnapshotError("DRAM bank count mismatch in snapshot");
+    for (Bank &b : banks_) {
+        b.openRow = r.u64();
+        b.rowOpen = r.b();
+        b.freeAt = r.u64();
+    }
+    bus_.restore(r);
+    stats_.rowHit.num = r.u64();
+    stats_.rowHit.den = r.u64();
+    stats_.reads = r.u64();
+    stats_.writes = r.u64();
+    stats_.bankConflictCycles = r.u64();
+}
+
 } // namespace mtdae

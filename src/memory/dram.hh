@@ -92,6 +92,12 @@ class Dram
     /** Row index within its bank of a line address (for tests). */
     std::uint64_t rowOf(std::uint64_t line_addr) const;
 
+    /** Serialize bank/row-buffer, bus and statistics state. */
+    void save(ByteWriter &w) const;
+
+    /** Restore state saved by save(). */
+    void restore(ByteReader &r);
+
   private:
     struct Bank
     {

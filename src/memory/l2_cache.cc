@@ -132,4 +132,59 @@ L2Cache::resetStats()
     stats_.reset();
 }
 
+void
+L2Cache::save(ByteWriter &w) const
+{
+    w.u64(ways_.size());
+    for (const Way &way : ways_) {
+        w.u64(way.lineAddr);
+        w.b(way.valid);
+        w.b(way.dirty);
+        w.u64(way.readyAt);
+        w.u64(way.lruTick);
+    }
+    w.u64(portFreeAt_.size());
+    for (const Cycle c : portFreeAt_)
+        w.u64(c);
+    w.u64(mshrFreeAt_.size());
+    for (const Cycle c : mshrFreeAt_)
+        w.u64(c);
+    w.u64(lruClock_);
+    w.u64(stats_.miss.num);
+    w.u64(stats_.miss.den);
+    w.u64(stats_.delayedHits);
+    w.u64(stats_.writebacks);
+    w.u64(stats_.wbAbsorbed);
+    w.u64(stats_.wbForwarded);
+}
+
+void
+L2Cache::restore(ByteReader &r)
+{
+    if (r.u64() != ways_.size())
+        throw SnapshotError("L2 way count mismatch in snapshot");
+    for (Way &way : ways_) {
+        way.lineAddr = r.u64();
+        way.valid = r.b();
+        way.dirty = r.b();
+        way.readyAt = r.u64();
+        way.lruTick = r.u64();
+    }
+    if (r.u64() != portFreeAt_.size())
+        throw SnapshotError("L2 port count mismatch in snapshot");
+    for (Cycle &c : portFreeAt_)
+        c = r.u64();
+    if (r.u64() != mshrFreeAt_.size())
+        throw SnapshotError("L2 MSHR count mismatch in snapshot");
+    for (Cycle &c : mshrFreeAt_)
+        c = r.u64();
+    lruClock_ = r.u64();
+    stats_.miss.num = r.u64();
+    stats_.miss.den = r.u64();
+    stats_.delayedHits = r.u64();
+    stats_.writebacks = r.u64();
+    stats_.wbAbsorbed = r.u64();
+    stats_.wbForwarded = r.u64();
+}
+
 } // namespace mtdae

@@ -90,6 +90,12 @@ class L2Cache
         return static_cast<std::uint32_t>(line_addr & setMask_);
     }
 
+    /** Serialize tags, LRU, port/MSHR reservations and statistics. */
+    void save(ByteWriter &w) const;
+
+    /** Restore state saved by save(). */
+    void restore(ByteReader &r);
+
   private:
     struct Way
     {

@@ -183,4 +183,76 @@ MemorySystem::resetStats(Cycle now)
     dram_.resetStats(now);
 }
 
+void
+MemorySystem::save(ByteWriter &w) const
+{
+    w.u64(lines_.size());
+    for (const Line &l : lines_) {
+        w.u64(l.tag);
+        w.b(l.valid);
+        w.b(l.dirty);
+        w.i32(l.pendingMshr);
+    }
+    w.u64(mshrs_.size());
+    for (const Mshr &m : mshrs_) {
+        w.b(m.valid);
+        w.u64(m.lineAddr);
+        w.u64(m.readyAt);
+        w.b(m.makeDirty);
+        w.u32(m.frame);
+    }
+    w.u32(mshrsInUse_);
+    w.u32(portsUsed_);
+    w.u64(currentCycle_);
+    bus_.save(w);
+    dram_.save(w);
+    l2_.save(w);
+    w.u64(stats_.loadMiss.num);
+    w.u64(stats_.loadMiss.den);
+    w.u64(stats_.storeMiss.num);
+    w.u64(stats_.storeMiss.den);
+    w.u64(stats_.mergedMisses);
+    w.u64(stats_.writebacks);
+    w.u64(stats_.rejects);
+    w.u64(stats_.fillLatencySum);
+    w.u8(std::uint8_t(lastReject_));
+}
+
+void
+MemorySystem::restore(ByteReader &r)
+{
+    if (r.u64() != lines_.size())
+        throw SnapshotError("L1 frame count mismatch in snapshot");
+    for (Line &l : lines_) {
+        l.tag = r.u64();
+        l.valid = r.b();
+        l.dirty = r.b();
+        l.pendingMshr = r.i32();
+    }
+    if (r.u64() != mshrs_.size())
+        throw SnapshotError("L1 MSHR count mismatch in snapshot");
+    for (Mshr &m : mshrs_) {
+        m.valid = r.b();
+        m.lineAddr = r.u64();
+        m.readyAt = r.u64();
+        m.makeDirty = r.b();
+        m.frame = r.u32();
+    }
+    mshrsInUse_ = r.u32();
+    portsUsed_ = r.u32();
+    currentCycle_ = r.u64();
+    bus_.restore(r);
+    dram_.restore(r);
+    l2_.restore(r);
+    stats_.loadMiss.num = r.u64();
+    stats_.loadMiss.den = r.u64();
+    stats_.storeMiss.num = r.u64();
+    stats_.storeMiss.den = r.u64();
+    stats_.mergedMisses = r.u64();
+    stats_.writebacks = r.u64();
+    stats_.rejects = r.u64();
+    stats_.fillLatencySum = r.u64();
+    lastReject_ = MemReject(r.u8());
+}
+
 } // namespace mtdae

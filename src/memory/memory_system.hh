@@ -148,6 +148,12 @@ class MemorySystem
     /** Reset statistics (start of the measured interval). */
     void resetStats(Cycle now);
 
+    /** Serialize the entire hierarchy's mutable state. */
+    void save(ByteWriter &w) const;
+
+    /** Restore state saved by save(). */
+    void restore(ByteReader &r);
+
   private:
     struct Line
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace mtdae {
 
@@ -47,6 +48,12 @@ class RotatingOrder
     }
 
     void advance() { rr_ = (rr_ + 1) % nthreads_; }
+
+    /** Current rotation base (checkpointing). */
+    std::uint32_t position() const { return rr_; }
+
+    /** Overwrite the rotation base (checkpoint restore). */
+    void setPosition(std::uint32_t rr) { rr_ = rr % nthreads_; }
 
   private:
     std::uint32_t nthreads_;
@@ -144,6 +151,9 @@ class KeyedFetchPolicy final : public FetchPolicy
 
     void endCycle() override { rot_.advance(); }
 
+    void save(ByteWriter &w) const override { w.u32(rot_.position()); }
+    void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
+
   private:
     PolicyKind kind_;
     KeyFn key_;
@@ -178,6 +188,9 @@ class KeyedArbitrationPolicy final : public ArbitrationPolicy
     }
 
     void endCycle() override { rot_.advance(); }
+
+    void save(ByteWriter &w) const override { w.u32(rot_.position()); }
+    void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
 
   private:
     void
@@ -241,6 +254,9 @@ class GatingFetchPolicy final : public FetchPolicy
 
     void endCycle() override { rot_.advance(); }
 
+    void save(ByteWriter &w) const override { w.u32(rot_.position()); }
+    void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
+
   private:
     PolicyKind kind_;
     RotatingOrder rot_;
@@ -288,6 +304,9 @@ class SplitArbitrationPolicy final : public ArbitrationPolicy
     }
 
     void endCycle() override { rot_.advance(); }
+
+    void save(ByteWriter &w) const override { w.u32(rot_.position()); }
+    void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
 
   private:
     RotatingOrder rot_;

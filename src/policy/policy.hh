@@ -45,6 +45,9 @@
 
 namespace mtdae {
 
+class ByteWriter;
+class ByteReader;
+
 /**
  * Read-only per-context snapshot handed to policies — the only state a
  * policy may base its ordering or gating on. Built by
@@ -168,6 +171,13 @@ class FetchPolicy
 
     /** Advance per-cycle state (rotations); called once per cycle. */
     virtual void endCycle() {}
+
+    /** Serialize private per-cycle state (rotations). Policies are
+     *  otherwise stateless, so the default writes nothing. */
+    virtual void save(ByteWriter &w) const { (void)w; }
+
+    /** Restore state saved by save(). */
+    virtual void restore(ByteReader &r) { (void)r; }
 };
 
 /**
@@ -198,6 +208,12 @@ class ArbitrationPolicy
 
     /** Advance per-cycle state (rotations); called once per cycle. */
     virtual void endCycle() {}
+
+    /** Serialize private per-cycle state (rotations). */
+    virtual void save(ByteWriter &w) const { (void)w; }
+
+    /** Restore state saved by save(). */
+    virtual void restore(ByteReader &r) { (void)r; }
 };
 
 /** Build the fetch policy selected by @p cfg.fetchPolicy. */

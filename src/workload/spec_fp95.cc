@@ -520,6 +520,15 @@ class SuiteMixFactory : public TraceSourceFactory
 
     const std::string &name() const override { return name_; }
 
+    std::string
+    fingerprint() const override
+    {
+        // The segment length parameterises the trace, so two mixes
+        // with different segment sizes must never share a warm-start
+        // prefix even though their display names coincide.
+        return name_ + "@" + std::to_string(segmentInsts_);
+    }
+
   private:
     std::uint64_t segmentInsts_;
     std::string name_ = "suite-mix";

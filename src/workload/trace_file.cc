@@ -152,4 +152,22 @@ TraceFileSource::next(TraceInst &out)
     return true;
 }
 
+void
+TraceFileSource::save(ByteWriter &w) const
+{
+    w.u64(read_);
+}
+
+void
+TraceFileSource::restore(ByteReader &r)
+{
+    const std::uint64_t pos = r.u64();
+    if (pos > total_)
+        throw SnapshotError("trace file position out of range in snapshot");
+    read_ = pos;
+    if (std::fseek(file_, long(sizeof(Header) + pos * sizeof(Record)),
+                   SEEK_SET) != 0)
+        throw SnapshotError("cannot seek trace file " + name_);
+}
+
 } // namespace mtdae

@@ -69,6 +69,8 @@ class TraceFileSource : public TraceSource
 
     bool next(TraceInst &out) override;
     const std::string &name() const override { return name_; }
+    void save(ByteWriter &w) const override;
+    void restore(ByteReader &r) override;
 
     /** Instructions the header promises. */
     std::uint64_t totalInsts() const { return total_; }

@@ -15,6 +15,22 @@ roundUp(std::uint64_t v, std::uint64_t align)
 
 } // namespace
 
+void
+TraceSource::save(ByteWriter &w) const
+{
+    (void)w;
+    throw SnapshotError("trace source '" + name() +
+                        "' does not support checkpointing");
+}
+
+void
+TraceSource::restore(ByteReader &r)
+{
+    (void)r;
+    throw SnapshotError("trace source '" + name() +
+                        "' does not support checkpointing");
+}
+
 KernelTraceSource::KernelTraceSource(Kernel kernel, Addr mem_base,
                                      Addr pc_base, std::uint64_t seed,
                                      std::uint64_t iterations)
@@ -137,6 +153,41 @@ KernelTraceSource::next(TraceInst &out)
     return true;
 }
 
+void
+KernelTraceSource::save(ByteWriter &w) const
+{
+    // The kernel, layout (streamBase_) and trip count are construction
+    // parameters; only the read position and RNG stream are mutable.
+    for (const std::uint64_t word : rng_.state())
+        w.u64(word);
+    w.u64(streamOff_.size());
+    for (const std::uint64_t off : streamOff_)
+        w.u64(off);
+    w.u64(iter_);
+    w.u64(opIdx_);
+    w.u64(emitted_);
+    w.b(done_);
+}
+
+void
+KernelTraceSource::restore(ByteReader &r)
+{
+    std::array<std::uint64_t, 4> state;
+    for (std::uint64_t &word : state)
+        word = r.u64();
+    rng_.setState(state);
+    if (r.u64() != streamOff_.size())
+        throw SnapshotError("kernel stream count mismatch in snapshot");
+    for (std::uint64_t &off : streamOff_)
+        off = r.u64();
+    iter_ = r.u64();
+    opIdx_ = r.u64();
+    emitted_ = r.u64();
+    done_ = r.b();
+    if (!done_ && opIdx_ >= kernel_.ops.size())
+        throw SnapshotError("kernel op index out of range in snapshot");
+}
+
 SequenceTraceSource::SequenceTraceSource(
     std::vector<std::unique_ptr<KernelTraceSource>> sources,
     std::uint64_t segment_insts)
@@ -169,6 +220,29 @@ SequenceTraceSource::next(TraceInst &out)
         current_ = (current_ + 1) % sources_.size();
     }
     return false;
+}
+
+void
+SequenceTraceSource::save(ByteWriter &w) const
+{
+    w.u64(sources_.size());
+    for (const auto &src : sources_)
+        src->save(w);
+    w.u64(current_);
+    w.u64(inSegment_);
+}
+
+void
+SequenceTraceSource::restore(ByteReader &r)
+{
+    if (r.u64() != sources_.size())
+        throw SnapshotError("sequence source count mismatch in snapshot");
+    for (auto &src : sources_)
+        src->restore(r);
+    current_ = r.u64();
+    inSegment_ = r.u64();
+    if (current_ >= sources_.size())
+        throw SnapshotError("sequence position out of range in snapshot");
 }
 
 } // namespace mtdae

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "isa/inst.hh"
 #include "workload/kernel.hh"
@@ -36,6 +37,17 @@ class TraceSource
 
     /** Identifier for reports. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Serialize the source's read position and RNG streams so a
+     * checkpoint-restored simulation resumes the trace exactly where
+     * it was. Sources that cannot be checkpointed keep the default,
+     * which throws SnapshotError.
+     */
+    virtual void save(ByteWriter &w) const;
+
+    /** Restore state saved by save() on an identically built source. */
+    virtual void restore(ByteReader &r);
 };
 
 /**
@@ -66,6 +78,15 @@ class TraceSourceFactory
 
     /** Workload identifier for labels and reports. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Canonical identity string for the warm-start prefix key: two
+     * factories with equal fingerprints must build byte-identical
+     * sources from equal (num_threads, seed). Factories whose name
+     * already pins the workload down keep this default; parameterised
+     * factories must fold their parameters in.
+     */
+    virtual std::string fingerprint() const { return name(); }
 };
 
 /**
@@ -89,6 +110,8 @@ class KernelTraceSource : public TraceSource
 
     bool next(TraceInst &out) override;
     const std::string &name() const override { return kernel_.name; }
+    void save(ByteWriter &w) const override;
+    void restore(ByteReader &r) override;
 
     /** Instructions emitted so far. */
     std::uint64_t emitted() const { return emitted_; }
@@ -133,6 +156,8 @@ class SequenceTraceSource : public TraceSource
 
     bool next(TraceInst &out) override;
     const std::string &name() const override { return name_; }
+    void save(ByteWriter &w) const override;
+    void restore(ByteReader &r) override;
 
     /** Name of the benchmark currently being traced. */
     const std::string &currentBenchmark() const;

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
+#include "core/snapshot.hh"
 #include "tests/test_util.hh"
 
 using namespace mtdae;
@@ -177,6 +178,68 @@ TEST_P(MshrSweepTest, FewerMshrsNeverHelp)
 
 INSTANTIATE_TEST_SUITE_P(Mshrs, MshrSweepTest,
                          ::testing::Values(1, 2, 4, 8, 16));
+
+class CheckpointFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CheckpointFuzzTest, RestoreEquivalenceAtRandomCycles)
+{
+    // Fuzz the checkpoint engine (src/core/snapshot.hh): a random
+    // kernel on a random machine, snapshotted at random cycles, must
+    // always restore into a byte-identical continuation. All
+    // randomness is derived from the test seed — never wall clock —
+    // so every failure replays.
+    const std::uint64_t seed = GetParam();
+    Rng rng(deriveSeed(0x636b7074, seed));
+    const Kernel k = randomKernel(seed);
+
+    SimConfig cfg = testConfig(1 + rng.uniform(3));
+    cfg.decoupled = rng.bernoulli(0.7);
+    cfg.perfectL2 = rng.bernoulli(0.5);
+    cfg.fetchPolicy = fetchPolicies()[rng.uniform(fetchPolicies().size())];
+    cfg.issuePolicy = issuePolicies()[rng.uniform(issuePolicies().size())];
+    cfg.warmupInsts = 0;
+
+    const std::uint64_t iters = 150;
+    Simulator ref = makeSim(cfg, k, iters);
+    std::uint64_t steps = 0;
+    while (!ref.allDone()) {
+        ref.step();
+        ASSERT_LT(++steps, 4000000u) << "deadlock in " << k.name;
+    }
+    const auto ref_final = ref.saveSnapshot().toBytes();
+
+    for (int trial = 0; trial < 3; ++trial) {
+        const std::uint64_t cycle = rng.uniform(ref.now() + 1);
+        Simulator a = makeSim(cfg, k, iters);
+        for (std::uint64_t c = 0; c < cycle; ++c)
+            a.step();
+        const Snapshot snap = a.saveSnapshot();
+
+        // Serialize -> deserialize -> serialize is byte-stable.
+        const auto bytes1 = snap.toBytes();
+        EXPECT_EQ(Snapshot::fromBytes(bytes1).toBytes(), bytes1);
+
+        // Restore-equivalence: the restored run finishes in the same
+        // state as the uninterrupted one, byte for byte.
+        Simulator b = makeSim(cfg, k, iters);
+        b.restoreSnapshot(snap);
+        EXPECT_EQ(b.saveSnapshot().toBytes(), bytes1)
+            << k.name << " at cycle " << cycle;
+        while (!b.allDone())
+            b.step();
+        EXPECT_EQ(b.now(), ref.now())
+            << k.name << " at cycle " << cycle;
+        EXPECT_EQ(b.saveSnapshot().toBytes(), ref_final)
+            << k.name << " at cycle " << cycle;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzzTest,
+                         ::testing::Range(std::uint64_t(1),
+                                          std::uint64_t(17)));
 
 class PortSweepTest : public ::testing::TestWithParam<std::uint32_t>
 {
