@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Hot-loop benchmark: wall-time and simulated instructions/second of a
+ * fig4-shaped measure-phase grid (threads x decoupled x L2 latency on
+ * the paper machine, suite-mix workload), run cold (every job simulates
+ * its own warmup) and warm (shared warmup checkpoints). This is the
+ * binary scripts/bench_hotloop.sh times: BENCH_hotloop.json compares
+ * its insts/sec against the committed per-runner-class baseline, so
+ * hot-loop regressions fail CI instead of hiding behind byte-identity.
+ *
+ * When the tree is built with MTDAE_PROFILE (the default), the binary
+ * also runs one representative point with per-stage profiling enabled
+ * and prints the breakdown as machine-readable `PROFILE` lines.
+ *
+ * Output contract (consumed by scripts/bench_hotloop.sh):
+ *   HOTLOOP insts=<n> cold_ms=<ms> warm_ms=<ms> cold_ips=<n> warm_ips=<n>
+ *   PROFILE stage=<name> ns=<n> pct=<p>       (one per pipeline stage)
+ *   PROFILE total_ns=<n> cycles=<n> insts_per_sec=<n>
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "workload/spec_fp95.hh"
+
+using namespace mtdae;
+
+namespace {
+
+/**
+ * The fig4-shaped grid: per (threads, decoupled, latency) machine, two
+ * points differing only in measure budget on one explicit seed stream,
+ * so each machine's pair shares a warmup prefix (the warm mode's
+ * checkpoint fan-out; the default index-derived seeds would make every
+ * prefixKey() unique).
+ */
+SweepSpec
+makeSpec(std::uint64_t insts)
+{
+    const std::vector<std::uint32_t> threads = {1, 2, 4};
+    const std::vector<std::uint32_t> lats = {1, 64, 256};
+    const std::vector<std::uint64_t> mults = {1, 2};
+
+    SweepSpec spec;
+    std::uint64_t stream = 0;
+    for (const std::uint32_t n : threads) {
+        for (const bool dec : {true, false}) {
+            for (const std::uint32_t lat : lats) {
+                SimConfig cfg = paperConfigSeeded(n, dec, lat);
+                cfg.warmupInsts = 4000 * n;
+                for (const std::uint64_t m : mults)
+                    spec.addSuiteMix(cfg, insts * n * m,
+                                     std::to_string(n) + "T " +
+                                         (dec ? "dec" : "non-dec") +
+                                         " L2=" + std::to_string(lat) +
+                                         " x" + std::to_string(m),
+                                     stream);
+                ++stream;
+            }
+        }
+    }
+    return spec;
+}
+
+double
+millis(std::chrono::steady_clock::time_point a,
+       std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+bool
+sameResult(const RunResult &a, const RunResult &b)
+{
+    // Wall-clock profile fields are deliberately excluded: only the
+    // simulated results are part of the byte-identity contract.
+    return a.cycles == b.cycles && a.insts == b.insts && a.ipc == b.ipc &&
+           a.perceivedFp == b.perceivedFp &&
+           a.perceivedInt == b.perceivedInt &&
+           a.perceivedAll == b.perceivedAll && a.fpMisses == b.fpMisses &&
+           a.intMisses == b.intMisses &&
+           a.loadMissRatio == b.loadMissRatio &&
+           a.storeMissRatio == b.storeMissRatio &&
+           a.missRatio == b.missRatio && a.mergedRatio == b.mergedRatio &&
+           a.busUtilization == b.busUtilization &&
+           a.avgFillLatency == b.avgFillLatency &&
+           a.ap.counts == b.ap.counts && a.ep.counts == b.ep.counts &&
+           a.mispredictRate == b.mispredictRate;
+}
+
+#if defined(MTDAE_PROFILE) && MTDAE_PROFILE
+/**
+ * Run one representative point (the 4T decoupled L2=64 machine) with
+ * per-stage profiling and print the breakdown: where a measure-phase
+ * cycle's wall time actually goes.
+ */
+void
+profiledBreakdown(std::uint64_t insts)
+{
+    SimConfig cfg = paperConfigSeeded(4, true, 64);
+    cfg.warmupInsts = 4000 * 4;
+    Simulator sim(cfg, makeSuiteMixFactory()->make(cfg.numThreads,
+                                                   cfg.seed));
+    sim.setProfiling(true);
+    const RunResult r = sim.run(insts * 4);
+    const StageProfile &p = r.profile;
+
+    TextTable t;
+    t.addRow({"stage", "ns/cycle", "pct"});
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+        const double pct =
+            p.totalNs ? 100.0 * double(p.ns[s]) / double(p.totalNs) : 0.0;
+        const double per_cycle =
+            p.cycles ? double(p.ns[s]) / double(p.cycles) : 0.0;
+        t.addRow({stageName(Stage(s)), TextTable::fmt(per_cycle, 1),
+                  TextTable::fmt(pct, 1)});
+        std::printf("PROFILE stage=%s ns=%llu pct=%.1f\n",
+                    stageName(Stage(s)),
+                    static_cast<unsigned long long>(p.ns[s]), pct);
+    }
+    const double secs = double(p.totalNs) / 1e9;
+    const double ips = secs > 0.0 ? double(r.insts) / secs : 0.0;
+    std::printf("PROFILE total_ns=%llu cycles=%llu insts_per_sec=%.0f\n",
+                static_cast<unsigned long long>(p.totalNs),
+                static_cast<unsigned long long>(p.cycles), ips);
+    std::cout << "\n== Profiled measure phase (4T decoupled L2=64) ==\n";
+    t.print(std::cout);
+}
+#endif
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t insts = instsBudget(20000);
+    const SweepSpec spec = makeSpec(insts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<RunResult> cold =
+        JobRunner(envJobs(), false).run(spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::vector<RunResult> warm =
+        JobRunner(envJobs(), true).run(spec);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    std::uint64_t total_insts = 0;
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        if (!sameResult(cold[i], warm[i])) {
+            std::cerr << "FAIL: warm-started job '"
+                      << spec.jobs()[i].label
+                      << "' diverged from the cold run\n";
+            return 1;
+        }
+        total_insts += cold[i].insts;
+    }
+
+    const double cold_ms = millis(t0, t1);
+    const double warm_ms = millis(t1, t2);
+    const double cold_ips =
+        cold_ms > 0.0 ? double(total_insts) / (cold_ms / 1e3) : 0.0;
+    const double warm_ips =
+        warm_ms > 0.0 ? double(total_insts) / (warm_ms / 1e3) : 0.0;
+
+    TextTable t;
+    t.addRow({"mode", "wall ms", "Minsts/s"});
+    std::vector<std::vector<std::string>> csv;
+    csv.push_back({"mode", "wall_ms", "insts", "insts_per_sec"});
+    const auto emit = [&](const char *mode, double ms, double ips) {
+        t.addRow({mode, TextTable::fmt(ms, 1),
+                  TextTable::fmt(ips / 1e6, 2)});
+        csv.push_back({mode, TextTable::fmt(ms, 1),
+                       std::to_string(total_insts),
+                       TextTable::fmt(ips, 0)});
+    };
+    emit("cold", cold_ms, cold_ips);
+    emit("warm", warm_ms, warm_ips);
+
+    std::printf("HOTLOOP insts=%llu cold_ms=%.1f warm_ms=%.1f "
+                "cold_ips=%.0f warm_ips=%.0f\n",
+                static_cast<unsigned long long>(total_insts), cold_ms,
+                warm_ms, cold_ips, warm_ips);
+
+    emitTable("Hot loop: fig4-shaped measure-phase grid, cold vs "
+              "warm-started (results byte-identical)",
+              t, csv, "hot_loop.csv");
+
+#if defined(MTDAE_PROFILE) && MTDAE_PROFILE
+    profiledBreakdown(insts);
+#endif
+    return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "branch/bht.hh"
 #include "common/rng.hh"
+#include "core/context.hh"
 #include "core/simulator.hh"
 #include "harness/experiment.hh"
 #include "memory/memory_system.hh"
@@ -106,5 +107,73 @@ BM_SimulatorCycles(benchmark::State &state)
         double(state.iterations()));
 }
 BENCHMARK(BM_SimulatorCycles)->Arg(1)->Arg(4)->Arg(8);
+
+// --- Hot-loop micros (docs/PERFORMANCE.md) ----------------------------
+
+/** Cost of one from-scratch ThreadState rebuild — the unit of work the
+ *  incremental snapshot cache avoids on clean cycles. */
+static void
+BM_PolicyStateRebuild(benchmark::State &state)
+{
+    SimConfig cfg;
+    Context ctx(0, cfg, makeSuiteMixSource(0, 1));
+    Cycle now = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ctx.policyState(cfg, ++now));
+}
+BENCHMARK(BM_PolicyStateRebuild);
+
+/** Store-forwarding lookup against a full-size SAQ: Arg(0) = the
+ *  reference linear walk, Arg(1) = the word-count index the issue
+ *  stage uses (Context::saqForwardsFast). */
+static void
+BM_SaqForwardLookup(benchmark::State &state)
+{
+    const bool fast = state.range(1) != 0;
+    const std::size_t entries = std::size_t(state.range(0));
+    SimConfig cfg;
+    Context ctx(0, cfg, makeSuiteMixSource(0, 1));
+    for (std::size_t i = 0; i < entries; ++i) {
+        SaqEntry e;
+        e.seq = InstSeq(i);
+        e.addrValid = (i % 2) == 0;
+        e.addr = Addr(i) << 3;
+        ctx.saq.push_back(e);
+        if (e.addrValid)
+            ctx.saqDeposit(e.addr);
+    }
+    Addr probe = 0;
+    for (auto _ : state) {
+        probe = (probe + 8) & 0x1fff;
+        if (fast)
+            benchmark::DoNotOptimize(ctx.saqForwardsFast(probe));
+        else
+            benchmark::DoNotOptimize(
+                ctx.saqForwards(InstSeq(1) << 30, probe));
+    }
+}
+BENCHMARK(BM_SaqForwardLookup)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+/** step() with the profiling instrumentation off (Arg 0) vs. on
+ *  (Arg 1): the gap is the cost of --profile itself. */
+static void
+BM_SimulatorStepProfiled(benchmark::State &state)
+{
+    SimConfig cfg = paperConfig(4, true, 64);
+    cfg.warmupInsts = 0;
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    for (ThreadId t = 0; t < 4; ++t)
+        sources.push_back(makeSuiteMixSource(t, 1));
+    Simulator sim(cfg, std::move(sources));
+    sim.setProfiling(state.range(0) != 0);
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorStepProfiled)->Arg(0)->Arg(1);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+#!/usr/bin/env sh
+# Benchmark the simulator hot loop: run bench/hot_loop (a fig4-shaped
+# sweep timed cold and warm-started, self-verifying that both modes
+# produce identical results), capture its simulated instructions/second
+# and — when the tree is built with MTDAE_PROFILE — the per-stage
+# wall-clock breakdown of the profiled measure phase, then emit
+# BENCH_hotloop.json.
+#
+# The JSON also records the committed per-runner-class baseline
+# (scripts/hotloop_baseline.json): before_cold_ips is the throughput
+# immediately before the hot-loop optimization pass, committed_cold_ips
+# the throughput at the commit that landed it. With MTDAE_PERF_SMOKE=1
+# the script exits non-zero when the measured cold throughput drops
+# more than 30% below committed_cold_ips for this runner class — the
+# CI perf-smoke gate.
+#
+# Usage: scripts/bench_hotloop.sh [build-dir]   (default: build)
+#
+# Environment:
+#   MTDAE_JOBS          sweep worker count        (default: 1)
+#   BENCH_OUT           output JSON path          (default: BENCH_hotloop.json)
+#   MTDAE_RUNNER_CLASS  baseline key              (default: local-dev)
+#   MTDAE_PERF_SMOKE    1 = fail on >30% regression vs. the committed
+#                       baseline (default: 0, report only)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/hot_loop"
+OUT="${BENCH_OUT:-BENCH_hotloop.json}"
+CLASS="${MTDAE_RUNNER_CLASS:-local-dev}"
+SMOKE="${MTDAE_PERF_SMOKE:-0}"
+BASELINE="scripts/hotloop_baseline.json"
+
+[ -x "$BIN" ] || { echo "error: $BIN not built" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# One worker by default: the hot loop is a single-core measurement;
+# parallel workers only add scheduler noise to the timing.
+echo "running $BIN (MTDAE_JOBS=${MTDAE_JOBS:-1})..." >&2
+MTDAE_JOBS="${MTDAE_JOBS:-1}" "$BIN" > "$TMP/hotloop.txt"
+sed -n '/^==/,$p' "$TMP/hotloop.txt" >&2
+
+HOT=$(grep '^HOTLOOP ' "$TMP/hotloop.txt")
+[ -n "$HOT" ] || { echo "error: no HOTLOOP line in output" >&2; exit 1; }
+field() { printf '%s\n' "$HOT" | sed -n "s/.*$1=\([0-9.]*\).*/\1/p"; }
+INSTS=$(field insts)
+COLD_MS=$(field cold_ms)
+WARM_MS=$(field warm_ms)
+COLD_IPS=$(field cold_ips)
+WARM_IPS=$(field warm_ips)
+
+# Per-stage breakdown (absent when built with -DMTDAE_PROFILE=OFF).
+STAGES=$(awk '/^PROFILE stage=/ {
+    split($2, a, "="); split($3, b, "="); split($4, c, "=");
+    printf "%s      \"%s\": {\"ns\": %s, \"pct\": %s}",
+           (n++ ? ",\n" : "\n"), a[2], b[2], c[2];
+} END { if (n) print "" }' "$TMP/hotloop.txt")
+TOTAL=$(sed -n 's/^PROFILE total_ns=\([0-9]*\).*/\1/p' "$TMP/hotloop.txt")
+PROF_CYCLES=$(sed -n 's/^PROFILE .*cycles=\([0-9]*\).*/\1/p' \
+    "$TMP/hotloop.txt")
+PROF_IPS=$(sed -n 's/^PROFILE .*insts_per_sec=\([0-9.]*\).*/\1/p' \
+    "$TMP/hotloop.txt")
+
+# Committed baseline for this runner class (0 = no baseline known).
+BASE_COMMITTED=$(sed -n \
+    "s/.*\"$CLASS\": {\"committed_cold_ips\": \([0-9]*\).*/\1/p" \
+    "$BASELINE")
+BASE_BEFORE=$(sed -n \
+    "s/.*\"$CLASS\": {[^}]*\"before_cold_ips\": \([0-9]*\).*/\1/p" \
+    "$BASELINE")
+BASE_COMMITTED="${BASE_COMMITTED:-0}"
+BASE_BEFORE="${BASE_BEFORE:-0}"
+
+SPEEDUP_VS_BEFORE=$(awk -v c="$COLD_IPS" -v b="$BASE_BEFORE" \
+    'BEGIN { printf "%.3f", (b > 0) ? c / b : 0 }')
+FLOOR=$(awk -v b="$BASE_COMMITTED" 'BEGIN { printf "%d", b * 0.7 }')
+if [ "$BASE_COMMITTED" -gt 0 ] && \
+   [ "$(awk -v c="$COLD_IPS" -v f="$FLOOR" \
+        'BEGIN { print (c + 0 < f) ? 1 : 0 }')" = 1 ]; then
+    SMOKE_OK=false
+else
+    SMOKE_OK=true
+fi
+
+{
+    printf '{\n'
+    printf '  "benchmark": "hot_loop",\n'
+    printf '  "runner_class": "%s",\n' "$CLASS"
+    printf '  "insts": %s,\n' "$INSTS"
+    printf '  "cold_ms": %s,\n' "$COLD_MS"
+    printf '  "warm_ms": %s,\n' "$WARM_MS"
+    printf '  "cold_insts_per_sec": %s,\n' "$COLD_IPS"
+    printf '  "warm_insts_per_sec": %s,\n' "$WARM_IPS"
+    printf '  "baseline_before_cold_ips": %s,\n' "$BASE_BEFORE"
+    printf '  "baseline_committed_cold_ips": %s,\n' "$BASE_COMMITTED"
+    printf '  "speedup_vs_before": %s,\n' "$SPEEDUP_VS_BEFORE"
+    printf '  "perf_smoke_floor": %s,\n' "$FLOOR"
+    printf '  "perf_smoke_ok": %s' "$SMOKE_OK"
+    if [ -n "$STAGES" ]; then
+        printf ',\n  "profile": {\n'
+        printf '    "total_ns": %s,\n' "${TOTAL:-0}"
+        printf '    "cycles": %s,\n' "${PROF_CYCLES:-0}"
+        printf '    "insts_per_sec": %s,\n' "${PROF_IPS:-0}"
+        printf '    "stages": {%s    }\n  }' "$STAGES"
+    fi
+    printf '\n}\n'
+} > "$OUT"
+echo "wrote $OUT (cold ${COLD_IPS} insts/s," \
+     "${SPEEDUP_VS_BEFORE}x vs. pre-optimization)" >&2
+
+if [ "$SMOKE" = 1 ] && [ "$SMOKE_OK" = false ]; then
+    echo "error: cold throughput ${COLD_IPS} insts/s is more than 30%" \
+         "below the committed '$CLASS' baseline ($BASE_COMMITTED)" >&2
+    exit 1
+fi

@@ -75,6 +75,12 @@ restoreDynInst(ByteReader &r, DynInst &di)
     di.loadMissed = r.b();
     di.forwarded = r.b();
     di.missToken = r.u32();
+    // Derived fields, not part of the byte stream: the opcode class is
+    // recomputed and the SAQ back-pointer is rebuilt by Context::restore
+    // once the SAQ itself exists.
+    di.isLoadOp = isLoad(di.ti.op);
+    di.isStoreOp = isStore(di.ti.op);
+    di.saqEntry = nullptr;
 }
 
 } // namespace
@@ -167,7 +173,7 @@ Context::stallSource(const DynInst &di, std::uint32_t &tok) const
         if (!di.ti.src[i].valid())
             continue;
         // Stores stall at issue only on their address operand.
-        if (isStore(di.ti.op) && i != 0)
+        if (di.isStoreOp && i != 0)
             continue;
         const RegFile &rf = file(di.ti.src[i].cls);
         if (rf.ready(di.physSrc[i]))
@@ -192,10 +198,15 @@ void
 Context::sampleIqWindow()
 {
     std::uint32_t &slot = iqSamples[iqSampleAt];
+    const std::uint32_t evicted = slot;
     iqWindowSum -= slot;
     slot = std::uint32_t(iq.size());
     iqWindowSum += slot;
     iqSampleAt = (iqSampleAt + 1) % kIqWindow;
+    // The window feeds ThreadState::iqOccupancyWindow; an unchanged sum
+    // keeps the cached snapshot valid.
+    if (slot != evicted)
+        policyDirty = true;
 }
 
 ThreadState
@@ -365,6 +376,15 @@ Context::restore(ByteReader &r)
         e.addrValid = r.b();
         e.addr = r.u64();
     }
+    // Rebuild the store -> SAQ-slot back-pointers and the deposited-word
+    // index (derived state; deque element references stay stable until
+    // the entry is popped).
+    saqWords.clear();
+    for (SaqEntry &e : saq) {
+        e.inst->saqEntry = &e;
+        if (e.addrValid)
+            saqDeposit(e.addr);
+    }
 
     nextSeq = r.u64();
     nextIssueSeq = r.u64();
@@ -375,6 +395,8 @@ Context::restore(ByteReader &r)
         s = r.u32();
     iqSampleAt = r.u32();
     iqWindowSum = r.u32();
+
+    policyDirty = true;
 }
 
 bool

@@ -12,10 +12,12 @@
 #include <array>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "branch/predictor.hh"
 #include "common/config.hh"
+#include "common/log.hh"
 #include "common/types.hh"
 #include "core/dyn_inst.hh"
 #include "core/perceived.hh"
@@ -59,7 +61,7 @@ class RegFile
     std::size_t freeCount() const { return freeList_.size(); }
 
     /** Current mapping of architectural register @p arch. */
-    PhysReg map(std::uint8_t arch) const { return map_.at(arch); }
+    PhysReg map(std::uint8_t arch) const { return map_[arch]; }
 
     /**
      * Rename @p arch to a fresh physical register.
@@ -71,17 +73,19 @@ class RegFile
     /** Return @p r to the free list. */
     void release(PhysReg r);
 
-    /** Scoreboard: is @p r ready? */
-    bool ready(PhysReg r) const { return ready_.at(r); }
+    /** Scoreboard: is @p r ready? (Hot path: unchecked indexing; the
+     *  register numbers are internal invariants, and the sanitizer CI
+     *  job keeps the indexing honest.) */
+    bool ready(PhysReg r) const { return ready_[r]; }
 
     /** Mark @p r ready. */
-    void setReady(PhysReg r) { ready_.at(r) = true; }
+    void setReady(PhysReg r) { ready_[r] = true; }
 
     /** Producer record of @p r. */
-    Producer &producer(PhysReg r) { return producer_.at(r); }
+    Producer &producer(PhysReg r) { return producer_[r]; }
 
     /** Producer record of @p r (const). */
-    const Producer &producer(PhysReg r) const { return producer_.at(r); }
+    const Producer &producer(PhysReg r) const { return producer_[r]; }
 
     /** Total physical registers. */
     std::size_t size() const { return ready_.size(); }
@@ -168,6 +172,18 @@ struct Context
     std::deque<DynInst *> iq;         ///< EP Instruction Queue (decoupling).
     std::deque<SaqEntry> saq;         ///< Store Address Queue.
 
+    /**
+     * Deposited-word index over the SAQ: 8-byte-word address -> number
+     * of address-valid entries writing it. Because all memory
+     * instructions issue on the AP in strict per-thread program order,
+     * every deposited store is older than any load that is issuing, so
+     * "an older deposited store writes this word" reduces to a count
+     * lookup (saqForwardsFast) instead of the linear saqForwards walk
+     * — the SAQ scales to hundreds of entries at high L2 latencies.
+     * Derived state: rebuilt from the SAQ on restore, never serialized.
+     */
+    std::unordered_map<Addr, std::uint32_t> saqWords;
+
     // Sequencing.
     InstSeq nextSeq = 0;              ///< Next fetch sequence number.
     InstSeq nextIssueSeq = 0;         ///< Non-decoupled program-order gate.
@@ -175,6 +191,14 @@ struct Context
     // Per-thread statistics.
     PerceivedTracker perceived;
     std::uint64_t graduated = 0;
+
+    /**
+     * Invalidation flag for the simulator's cached ThreadState
+     * (Simulator::snapshotThreads). Set by every mutation of a field
+     * policyState() reads; cleared when the cache recomputes. Derived
+     * state: never serialized — Context::restore() just sets it.
+     */
+    bool policyDirty = true;
 
     /** Cycles in the trailing IQ-occupancy window (the split policy's
      *  EP drain-rate key; ThreadState::iqOccupancyWindow). */
@@ -221,10 +245,37 @@ struct Context
 
     /**
      * Search the SAQ for the youngest older store writing the same
-     * 8-byte word as @p load_addr.
+     * 8-byte word as @p load_addr (reference linear walk; the issue
+     * stage uses saqForwardsFast, and tests assert they agree).
      * @return true when such a store exists (forwarding)
      */
     bool saqForwards(InstSeq load_seq, Addr load_addr) const;
+
+    /** saqForwards via the deposited-word index (see saqWords). */
+    bool
+    saqForwardsFast(Addr load_addr) const
+    {
+        return !saqWords.empty() &&
+               saqWords.find(load_addr >> 3) != saqWords.end();
+    }
+
+    /** Record a store's address deposit in the word index. */
+    void
+    saqDeposit(Addr addr)
+    {
+        ++saqWords[addr >> 3];
+    }
+
+    /** Remove a graduating store's deposit from the word index. */
+    void
+    saqWithdraw(Addr addr)
+    {
+        const auto it = saqWords.find(addr >> 3);
+        MTDAE_ASSERT(it != saqWords.end() && it->second > 0,
+                     "SAQ word index out of sync at graduation");
+        if (--it->second == 0)
+            saqWords.erase(it);
+    }
 
     /**
      * Snapshot the occupancy/blocked state the arbitration policies

@@ -14,6 +14,8 @@
 
 namespace mtdae {
 
+struct SaqEntry;
+
 /** Lifecycle of a dynamic instruction. */
 enum class InstState : std::uint8_t {
     Dispatched,  ///< Renamed, waiting in a unit queue.
@@ -26,25 +28,34 @@ enum class InstState : std::uint8_t {
  * One in-flight instruction. Owned by the per-thread ROB (a deque whose
  * element references are stable under push_back/pop_front); the unit
  * queues hold pointers into it.
+ *
+ * Field order is hot-loop-conscious: everything tryIssue reads per
+ * queue-head scan (seq, state, the renamed registers, the cached opcode
+ * classification, the SAQ back-pointer) sits in the first cache line;
+ * the full trace record and the stats-only fields follow.
  */
 struct DynInst
 {
-    TraceInst ti;              ///< The trace record.
     InstSeq seq = 0;           ///< Per-thread program order.
-    Unit unit = Unit::AP;      ///< Steered processing unit.
-    InstState state = InstState::Dispatched;
+    SaqEntry *saqEntry = nullptr;  ///< This store's SAQ slot (stores only).
 
     PhysReg physDst = kNoPhysReg;     ///< Renamed destination.
     PhysReg oldPhysDst = kNoPhysReg;  ///< Previous mapping (freed at grad).
     std::array<PhysReg, 3> physSrc = {kNoPhysReg, kNoPhysReg,
                                       kNoPhysReg};  ///< Renamed sources.
 
-    Cycle dispatchedAt = 0;    ///< Dispatch cycle (debug/stats).
-    Cycle readyAt = kNoCycle;  ///< Completion cycle, known at issue.
+    Unit unit = Unit::AP;      ///< Steered processing unit.
+    InstState state = InstState::Dispatched;
+    bool isLoadOp = false;     ///< Cached isLoad(ti.op) (set at dispatch).
+    bool isStoreOp = false;    ///< Cached isStore(ti.op) (set at dispatch).
     bool mispredicted = false; ///< Conditional branch mispredicted.
     bool loadMissed = false;   ///< Load that missed in the L1.
     bool forwarded = false;    ///< Load satisfied by SAQ forwarding.
     std::uint32_t missToken = 0xffffffffu;  ///< Perceived-latency token.
+
+    Cycle readyAt = kNoCycle;  ///< Completion cycle, known at issue.
+    Cycle dispatchedAt = 0;    ///< Dispatch cycle (debug/stats).
+    TraceInst ti;              ///< The trace record.
 
     /** True for conditional branches (unresolved-branch bookkeeping). */
     bool isCondBr() const { return isCondBranch(ti.op); }

@@ -1,5 +1,7 @@
 #include "core/simulator.hh"
 
+#include <chrono>
+
 #include "common/log.hh"
 
 namespace mtdae {
@@ -19,14 +21,61 @@ Simulator::Simulator(const SimConfig &cfg,
         contexts_.push_back(
             std::make_unique<Context>(t, cfg_, std::move(sources[t])));
     threadStates_.resize(cfg_.numThreads);
+    threadStateAt_.resize(cfg_.numThreads, 0);
+    reasonsScratch_.reserve(cfg_.numThreads);
+}
+
+void
+Simulator::refreshThreadStates()
+{
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t) {
+        Context &ctx = *contexts_[t];
+        // A clean entry is reusable when it was stamped this very cycle
+        // or when its only time-dependent input — the fetch-redirect
+        // gate `now >= fetchResumeAt` — was already open at stamp time
+        // (it can then never close without a field mutation, which
+        // would have set policyDirty).
+        if (!ctx.policyDirty && (threadStateAt_[t] == now_ ||
+                                 ctx.fetchResumeAt <= threadStateAt_[t]))
+            continue;
+        threadStates_[t] = ctx.policyState(cfg_, now_);
+        threadStateAt_[t] = now_;
+        ctx.policyDirty = false;
+    }
 }
 
 const std::vector<ThreadState> &
 Simulator::snapshotThreads()
 {
-    for (ThreadId t = 0; t < cfg_.numThreads; ++t)
-        threadStates_[t] = contexts_[t]->policyState(cfg_, now_);
+#if MTDAE_PROFILE
+    if (profileEnabled_) {
+        const auto t0 = std::chrono::steady_clock::now();
+        refreshThreadStates();
+        snapNs_ += std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        return threadStates_;
+    }
+#endif
+    refreshThreadStates();
     return threadStates_;
+}
+
+bool
+Simulator::threadStateCacheCoherent() const
+{
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t) {
+        const Context &ctx = *contexts_[t];
+        if (ctx.policyDirty)
+            continue;  // would recompute: nothing cached to check
+        if (threadStateAt_[t] != now_ &&
+            ctx.fetchResumeAt > threadStateAt_[t])
+            continue;  // would recompute (redirect gate may reopen)
+        if (!(threadStates_[t] == ctx.policyState(cfg_, now_)))
+            return false;
+    }
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -49,8 +98,10 @@ Simulator::processCompletions()
         if (di->ti.dst.valid())
             ctx.file(di->ti.dst.cls).setReady(di->physDst);
 
-        if (di->loadMissed)
+        if (di->loadMissed) {
             ctx.perceived.close(di->missToken);
+            ctx.policyDirty = true;  // outstandingMisses changed
+        }
 
         if (di->isCondBr()) {
             MTDAE_ASSERT(ctx.unresolvedBranches > 0,
@@ -61,6 +112,7 @@ Simulator::processCompletions()
                 ctx.fetchBlocked = false;
                 ctx.fetchResumeAt = now_ + cfg_.redirectPenalty;
             }
+            ctx.policyDirty = true;  // branch count / fetch gate changed
         }
     }
 }
@@ -77,7 +129,7 @@ Simulator::tryIssue(Context &ctx, DynInst &di)
     if (!cfg_.decoupled && di.seq != ctx.nextIssueSeq)
         return false;
 
-    if (isStore(di.ti.op)) {
+    if (di.isStoreOp) {
         // A store issues on the AP when its *address* operands are
         // ready; the data may arrive later (possibly from the EP).
         if (!ctx.storeAddrReady(di))
@@ -88,8 +140,8 @@ Simulator::tryIssue(Context &ctx, DynInst &di)
     }
 
     Cycle ready_at;
-    if (isLoad(di.ti.op)) {
-        if (ctx.saqForwards(di.seq, di.ti.addr)) {
+    if (di.isLoadOp) {
+        if (ctx.saqForwardsFast(di.ti.addr)) {
             // Forwarded from an older store in the SAQ: no cache access.
             di.forwarded = true;
             ready_at = now_ + 1;
@@ -105,20 +157,18 @@ Simulator::tryIssue(Context &ctx, DynInst &di)
                     ctx.perceived.open(di.ti.op == Opcode::LdI);
                 ctx.file(di.ti.dst.cls).producer(di.physDst).missToken =
                     di.missToken;
+                ctx.policyDirty = true;  // outstandingMisses changed
             }
         }
-    } else if (isStore(di.ti.op)) {
-        // Address generation; the SAQ entry becomes visible to loads.
-        bool deposited = false;
-        for (auto &e : ctx.saq) {
-            if (e.inst == &di) {
-                e.addrValid = true;
-                e.addr = di.ti.addr;
-                deposited = true;
-                break;
-            }
-        }
-        MTDAE_ASSERT(deposited, "store issued without a SAQ entry");
+    } else if (di.isStoreOp) {
+        // Address generation; the store's SAQ entry (back-pointer set
+        // at dispatch) becomes visible to loads.
+        SaqEntry *e = di.saqEntry;
+        MTDAE_ASSERT(e && e->inst == &di,
+                     "store issued without a SAQ entry");
+        e->addrValid = true;
+        e->addr = di.ti.addr;
+        ctx.saqDeposit(di.ti.addr);
         ready_at = now_ + cfg_.apLatency;
     } else {
         const std::uint32_t lat =
@@ -147,6 +197,7 @@ Simulator::issueUnit(Unit unit, const std::vector<ThreadId> &order,
             if (!tryIssue(ctx, *di))
                 break;
             queue.pop_front();
+            ctx.policyDirty = true;  // unit-queue occupancy changed
             slots -= 1;
             issued += 1;
         }
@@ -165,12 +216,18 @@ Simulator::accountSlots(Unit unit, const std::vector<ThreadId> &order,
     if (free_slots == 0)
         return;
 
+    // A policy returning an empty visit order would make the spreading
+    // loop below divide by zero; the contract (policy.hh) requires a
+    // full permutation, so fail loudly rather than skew Figure 3.
+    MTDAE_ASSERT(!order.empty(),
+                 "slot accounting with an empty policy visit order");
+
     // Classify each thread's head-of-queue stall, then spread the
     // unused slots over the classifications (paper Figure 3), walking
     // the *same* visit order the issue stage just used so the
     // attribution can never drift from the arbitration.
-    std::vector<SlotUse> reasons;
-    reasons.reserve(order.size());
+    std::vector<SlotUse> &reasons = reasonsScratch_;
+    reasons.clear();
     for (const ThreadId t : order) {
         Context &ctx = *contexts_[t];
         auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
@@ -251,7 +308,8 @@ Simulator::tryDispatch(Context &ctx)
         if (queue.size() >= cap)
             return false;
     }
-    if (isStore(ti.op) && ctx.saq.size() >= cfg_.saqEntries)
+    const bool is_store = isStore(ti.op);
+    if (is_store && ctx.saq.size() >= cfg_.saqEntries)
         return false;
     if (ti.dst.valid() && !ctx.file(ti.dst.cls).hasFree())
         return false;
@@ -261,6 +319,8 @@ Simulator::tryDispatch(Context &ctx)
     di.ti = ti;
     di.seq = fi.seq;
     di.unit = unit;
+    di.isLoadOp = isLoad(ti.op);
+    di.isStoreOp = is_store;
     di.dispatchedAt = now_;
     di.mispredicted = fi.mispredicted;
 
@@ -271,7 +331,7 @@ Simulator::tryDispatch(Context &ctx)
     if (ti.dst.valid()) {
         RegFile &rf = ctx.file(ti.dst.cls);
         di.physDst = rf.rename(ti.dst.idx, di.oldPhysDst);
-        rf.producer(di.physDst).kind = isLoad(ti.op)
+        rf.producer(di.physDst).kind = di.isLoadOp
             ? Producer::Kind::Load : Producer::Kind::Fu;
     }
 
@@ -281,11 +341,17 @@ Simulator::tryDispatch(Context &ctx)
     } else {
         auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
         queue.push_back(&di);
-        if (isStore(ti.op))
+        if (is_store) {
+            // Deque references are stable under push_back/pop_front, so
+            // the store can keep a direct pointer to its entry for the
+            // address deposit at issue (no SAQ walk).
             ctx.saq.push_back(SaqEntry{&di, di.seq, false, 0});
+            di.saqEntry = &ctx.saq.back();
+        }
     }
 
     ctx.fetchBuf.pop_front();
+    ctx.policyDirty = true;  // fetch-buffer / queue / ROB occupancy
     return true;
 }
 
@@ -370,11 +436,16 @@ Simulator::flushFetchBuffer(Context &ctx)
     // Replayed instructions get fresh sequence numbers; nothing
     // younger than the squashed block was ever fetched.
     ctx.nextSeq = first;
+    ctx.policyDirty = true;  // buffer emptied, branch count unwound
 }
 
 void
 Simulator::fetchThread(Context &ctx)
 {
+    // Conservative: fetching mutates the buffer, branch counts, gate
+    // bits and the trace lookahead, and even a zero-instruction walk
+    // can discover trace exhaustion (ensurePending sets traceDone).
+    ctx.policyDirty = true;
     std::uint32_t count = 0;
     while (count < cfg_.fetchWidth &&
            ctx.fetchBuf.size() < cfg_.fetchBufferSize) {
@@ -471,7 +542,7 @@ Simulator::graduateStage()
             DynInst &di = ctx.rob.front();
             if (di.state != InstState::Completed)
                 break;
-            if (isStore(di.ti.op)) {
+            if (di.isStoreOp) {
                 // The store leaves the SAQ and writes the cache when its
                 // data is available (FP store data comes from the EP).
                 if (!ctx.storeDataReady(di))
@@ -480,14 +551,18 @@ Simulator::graduateStage()
                 if (!r.accepted)
                     break;  // port/MSHR pressure: retry next cycle
                 MTDAE_ASSERT(!ctx.saq.empty() &&
-                             ctx.saq.front().inst == &di,
+                             ctx.saq.front().inst == &di &&
+                             ctx.saq.front().addrValid,
                              "SAQ out of order at graduation");
+                ctx.saqWithdraw(ctx.saq.front().addr);
+                di.saqEntry = nullptr;
                 ctx.saq.pop_front();
             }
             if (di.oldPhysDst != kNoPhysReg)
                 ctx.file(di.ti.dst.cls).release(di.oldPhysDst);
             di.state = InstState::Graduated;
             ctx.rob.pop_front();
+            ctx.policyDirty = true;  // ROB occupancy changed
             ctx.graduated += 1;
             totalGraduated_ += 1;
             lastGraduation_ = now_;
@@ -500,15 +575,52 @@ Simulator::graduateStage()
 // Top level
 // ---------------------------------------------------------------------
 
+template <bool Profiled>
 void
-Simulator::step()
+Simulator::stepImpl()
 {
+    // Profiled accounting: consecutive steady_clock marks tile the
+    // whole step, so the stage buckets sum to totalNs exactly. Time
+    // snapshotThreads spent rebuilding ThreadStates inside a stage
+    // (accumulated in snapNs_) is carved out of that stage's delta and
+    // credited to Stage::Snapshot.
+    std::chrono::steady_clock::time_point prev;
+    std::uint64_t snap_seen = 0;
+    if constexpr (Profiled) {
+        prev = std::chrono::steady_clock::now();
+        snapNs_ = 0;
+    }
+    const auto mark = [&](Stage s) {
+        if constexpr (Profiled) {
+            const auto t = std::chrono::steady_clock::now();
+            const std::uint64_t d = std::uint64_t(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t - prev)
+                    .count());
+            const std::uint64_t snap_delta = snapNs_ - snap_seen;
+            snap_seen = snapNs_;
+            const std::uint64_t snap_credit =
+                snap_delta < d ? snap_delta : d;
+            profile_.ns[std::size_t(s)] += d - snap_credit;
+            profile_.ns[std::size_t(Stage::Snapshot)] += snap_credit;
+            profile_.totalNs += d;
+            prev = t;
+        } else {
+            (void)s;
+        }
+    };
+
     mem_.beginCycle(now_);
     processCompletions();
+    mark(Stage::Complete);
     issueStage();
+    mark(Stage::Issue);
     dispatchStage();
+    mark(Stage::Dispatch);
     fetchStage();
+    mark(Stage::Fetch);
     graduateStage();
+    mark(Stage::Graduate);
     // One windowed-statistics sample per cycle, after every stage, so
     // all of next cycle's policy consultations see the same window.
     for (auto &ctxp : contexts_)
@@ -518,6 +630,31 @@ Simulator::step()
     fetchPolicy_->endCycle();
     issuePolicy_->endCycle();
     now_ += 1;
+    mark(Stage::Other);
+    if constexpr (Profiled)
+        profile_.cycles += 1;
+}
+
+void
+Simulator::step()
+{
+#if MTDAE_PROFILE
+    if (profileEnabled_) {
+        stepImpl<true>();
+        return;
+    }
+#endif
+    stepImpl<false>();
+}
+
+bool
+Simulator::setProfiling(bool on)
+{
+    if (on && !kProfileBuilt)
+        return false;  // -DMTDAE_PROFILE=OFF: instrumentation absent
+    profileEnabled_ = on;
+    profile_.enabled = on;
+    return true;
 }
 
 bool
@@ -546,7 +683,11 @@ Simulator::resetStats()
     for (auto &ctxp : contexts_) {
         ctxp->perceived.resetStats();
         ctxp->predictor->resetStats();
+        // Interval boundary: conservatively invalidate the cached
+        // ThreadStates rather than reason about resetStats side effects.
+        ctxp->policyDirty = true;
     }
+    profile_.reset();
     lastGraduation_ = now_;
 }
 
@@ -589,6 +730,7 @@ Simulator::snapshot() const
     r.ep = slotsEp_;
     r.mispredictRate =
         condBranches_ ? double(mispredicts_) / condBranches_ : 0.0;
+    r.profile = profile_;
     return r;
 }
 

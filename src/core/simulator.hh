@@ -37,6 +37,7 @@
 #include "common/config.hh"
 #include "common/types.hh"
 #include "core/context.hh"
+#include "core/profile.hh"
 #include "core/slot_stats.hh"
 #include "memory/memory_system.hh"
 #include "policy/policy.hh"
@@ -78,6 +79,12 @@ struct RunResult
     SlotBreakdown ep;  ///< EP issue-slot breakdown.
 
     double mispredictRate = 0.0;  ///< Conditional-branch mispredict rate.
+
+    /** Per-stage wall-clock breakdown of the measured interval. All
+     *  zeros (enabled == false) unless Simulator::setProfiling(true)
+     *  was in force; wall-clock measurement, never part of any
+     *  byte-identity comparison. */
+    StageProfile profile;
 };
 
 /**
@@ -131,6 +138,28 @@ class Simulator
 
     /** Advance one cycle (exposed for unit tests). */
     void step();
+
+    /**
+     * Enable or disable per-stage wall-clock profiling (core/profile.hh).
+     * The accumulated breakdown is cleared by resetStats() and reported
+     * in RunResult::profile, so after run() it covers exactly the
+     * measured interval.
+     *
+     * @return false when @p on is true but the instrumentation was
+     *         compiled out (-DMTDAE_PROFILE=OFF); profiling stays off
+     */
+    bool setProfiling(bool on);
+
+    /** True when profiling is compiled in and currently enabled. */
+    bool profilingEnabled() const { return profileEnabled_; }
+
+    /**
+     * Coherence check for the incremental ThreadState cache (test
+     * hook): every cached snapshot the next snapshotThreads() would
+     * serve without recomputing must equal a fresh
+     * Context::policyState(). O(threads); call it between step()s.
+     */
+    bool threadStateCacheCoherent() const;
 
     /** Current cycle. */
     Cycle now() const { return now_; }
@@ -222,8 +251,19 @@ class Simulator
     void flushFetchBuffer(Context &ctx);
     void graduateStage();
 
-    /** Refresh threadStates_ with per-context policy snapshots. */
+    /** step() body; Profiled selects the timing instrumentation. */
+    template <bool Profiled> void stepImpl();
+
+    /**
+     * Hand the policy layer its per-context snapshots, recomputing only
+     * threads whose Context::policyDirty flag is set (or whose cached
+     * fetch-redirect gate could have reopened since it was stamped);
+     * every other thread's entry is served from threadStates_ as-is.
+     */
     const std::vector<ThreadState> &snapshotThreads();
+
+    /** The recompute loop of snapshotThreads (un-instrumented). */
+    void refreshThreadStates();
 
     SimConfig cfg_;
     MemorySystem mem_;
@@ -238,10 +278,21 @@ class Simulator
     std::unique_ptr<FetchPolicy> fetchPolicy_;
     std::unique_ptr<ArbitrationPolicy> issuePolicy_;
     std::vector<ThreadState> threadStates_;
+    /** Cycle each threadStates_ entry was computed at (cache stamps). */
+    std::vector<Cycle> threadStateAt_;
     std::vector<ThreadId> orderAp_;
     std::vector<ThreadId> orderEp_;
     std::vector<ThreadId> orderDispatch_;
     std::vector<ThreadId> orderFetch_;
+    /** accountSlots' per-cycle stall classifications (reused scratch). */
+    std::vector<SlotUse> reasonsScratch_;
+
+    // Per-stage wall-clock profiling (core/profile.hh).
+    bool profileEnabled_ = false;
+    StageProfile profile_;
+    /** Nanoseconds snapshotThreads spent within the current stage
+     *  interval; stepImpl<true> carves it out into Stage::Snapshot. */
+    std::uint64_t snapNs_ = 0;
 
     // Statistics for the current interval.
     SlotBreakdown slotsAp_;

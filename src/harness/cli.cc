@@ -207,21 +207,46 @@ makeCfg(const Options &opts, std::uint32_t threads, bool decoupled,
 }
 
 /**
+ * Aggregate per-stage profile of the current experiment's sweeps,
+ * summed across jobs. File-scope so the fifteen experiment builders
+ * need no signature change to feed it; runExperiment() resets it
+ * before dispatch and moves it onto the ResultSet afterwards.
+ */
+StageProfile g_profile;
+bool g_profiled = false;
+
+/**
  * Execute @p spec on the worker pool selected by --jobs, echoing each
  * job's label to @p err as it starts (unless --quiet). The returned
  * results are in grid order, so the experiment formatters below walk
- * them with the same nested loops that built the spec.
+ * them with the same nested loops that built the spec. Under
+ * --profile every job collects its per-stage breakdown, summed into
+ * g_profile; the result rows themselves are unaffected.
  */
 std::vector<RunResult>
-runSweep(const SweepSpec &spec, const Options &opts, std::ostream &err)
+runSweep(SweepSpec &spec, const Options &opts, std::ostream &err)
 {
+    spec.setProfile(opts.profile);
     const JobRunner runner(opts.jobs, opts.warmStart);
     JobRunner::Progress on_start;
     if (!opts.quiet)
         on_start = [&err](const SimJob &job) {
             err << "  running " << job.label << "\n";
         };
-    return runner.run(spec, on_start);
+    std::vector<RunResult> results = runner.run(spec, on_start);
+    if (opts.profile) {
+        for (const RunResult &r : results) {
+            if (!r.profile.enabled)
+                continue;
+            for (std::size_t s = 0; s < kNumStages; ++s)
+                g_profile.ns[s] += r.profile.ns[s];
+            g_profile.totalNs += r.profile.totalNs;
+            g_profile.cycles += r.profile.cycles;
+            g_profile.enabled = true;
+            g_profiled = true;
+        }
+    }
+    return results;
 }
 
 std::vector<std::uint32_t>
@@ -1148,6 +1173,8 @@ parseArgs(const std::vector<std::string> &args, Options &opts,
                         "' (need a worker count >= 1)";
                 return false;
             }
+        } else if (key == "profile" && !has_value) {
+            opts.profile = true;
         } else if (key == "warm-start") {
             if (!has_value) {
                 opts.warmStart = true;
@@ -1191,9 +1218,16 @@ isExperiment(const std::string &name)
 ResultSet
 runExperiment(const Options &opts, std::ostream &err)
 {
-    for (const auto &e : registry())
-        if (e.info.name == opts.experiment)
-            return e.fn(opts, err);
+    for (const auto &e : registry()) {
+        if (e.info.name != opts.experiment)
+            continue;
+        g_profile.reset();
+        g_profiled = false;
+        ResultSet rs = e.fn(opts, err);
+        rs.profile = g_profile;
+        rs.profiled = g_profiled;
+        return rs;
+    }
     MTDAE_FATAL("unknown experiment '", opts.experiment, "'");
 }
 
@@ -1217,7 +1251,22 @@ writeJson(const ResultSet &rs, std::ostream &os)
         }
         os << (i + 1 < rs.rows.size() ? "},\n" : "}\n");
     }
-    os << "  ]\n}\n";
+    os << "  ]";
+    // The profile block exists only under --profile, so default JSON
+    // output is unchanged byte for byte.
+    if (rs.profiled) {
+        os << ",\n  \"profile\": {\n    \"cycles\": "
+           << rs.profile.cycles << ",\n    \"total_ns\": "
+           << rs.profile.totalNs << ",\n    \"stages_ns\": {";
+        for (std::size_t s = 0; s < kNumStages; ++s) {
+            if (s)
+                os << ", ";
+            os << '"' << stageName(Stage(s))
+               << "\": " << rs.profile.ns[s];
+        }
+        os << "}\n  }";
+    }
+    os << "\n}\n";
 }
 
 void
@@ -1272,6 +1321,12 @@ printHelp(std::ostream &os)
           " its own\n"
           "                    deterministic seed from S and its grid"
           " position\n"
+          "  --profile         collect the per-stage wall-clock"
+          " breakdown of the\n"
+          "                    simulator's cycle loop (reported on"
+          " stderr and in\n"
+          "                    the JSON 'profile' object; result rows"
+          " unchanged)\n"
           "  --format=csv|json result encoding (also --csv / --json)\n"
           "  --out=DIR         result directory (default: results)\n"
           "  --no-scale        disable paper-style queue scaling with"
@@ -1332,6 +1387,11 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
             << "'\nrun 'mtdae list' for the experiment list\n";
         return 2;
     }
+    if (opts.profile && !kProfileBuilt) {
+        err << "mtdae: --profile needs the profiling instrumentation; "
+               "rebuild with -DMTDAE_PROFILE=ON\n";
+        return 2;
+    }
     for (const auto &bench : opts.benchmarks) {
         const auto &names = specFp95Names();
         // Only `run` knows how to drive the suite-mix workload; the
@@ -1373,6 +1433,24 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
             opts.format == Options::Format::Json ? err : out;
         tbl << "\n== " << opts.experiment << " ==\n";
         t.print(tbl);
+    }
+
+    // The per-stage breakdown goes to stderr next to the progress
+    // lines: stdout (JSON) and the CSV file stay byte-identical with
+    // or without --profile.
+    if (rs.profiled && !opts.quiet) {
+        err << "profile: " << rs.profile.cycles << " cycles in "
+            << rs.profile.totalNs << " ns\n";
+        for (std::size_t s = 0; s < kNumStages; ++s) {
+            const double pct =
+                rs.profile.totalNs
+                    ? 100.0 * double(rs.profile.ns[s]) /
+                          double(rs.profile.totalNs)
+                    : 0.0;
+            err << "  " << stageName(Stage(s)) << ": "
+                << rs.profile.ns[s] << " ns (" << fmt(pct, 1)
+                << "%)\n";
+        }
     }
 
     if (opts.format == Options::Format::Json) {

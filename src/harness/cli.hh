@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "core/profile.hh"
 
 namespace mtdae::cli {
 
@@ -63,6 +64,16 @@ struct Options
      * warmup, for timing comparisons.
      */
     bool warmStart = true;
+
+    /**
+     * Collect the per-stage wall-clock breakdown (--profile): every
+     * swept job runs with Simulator::setProfiling(true) and the summed
+     * breakdown is reported next to (never inside) the result rows, so
+     * CSV output stays byte-identical with or without the flag.
+     * Requires a build with the MTDAE_PROFILE CMake option (the
+     * default); otherwise the driver exits with a usage error.
+     */
+    bool profile = false;
 
     /** Suppress the human-readable table on stdout. */
     bool quiet = false;
@@ -118,6 +129,14 @@ struct ResultSet
     std::string name;  ///< Basename for the CSV file ("fig4").
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;
+
+    /**
+     * Per-stage wall-clock breakdown summed over every job of the
+     * sweep; only populated (profiled == true) under --profile. Kept
+     * out of header/rows so the CSV encoding never changes shape.
+     */
+    StageProfile profile;
+    bool profiled = false;
 };
 
 /**

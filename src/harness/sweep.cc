@@ -19,6 +19,7 @@ SimJob::run() const
 {
     MTDAE_ASSERT(sources != nullptr, "SimJob ", index, " has no sources");
     Simulator sim(cfg, sources->make(cfg.numThreads, cfg.seed));
+    sim.setProfiling(profile);
     return sim.run(measureInsts);
 }
 
@@ -37,6 +38,7 @@ SimJob::runMeasured(const Snapshot &prefix) const
     MTDAE_ASSERT(sources != nullptr, "SimJob ", index, " has no sources");
     Simulator sim(cfg, sources->make(cfg.numThreads, cfg.seed));
     sim.restoreSnapshot(prefix);
+    sim.setProfiling(profile);
     return sim.runMeasure(measureInsts);
 }
 

@@ -70,6 +70,14 @@ struct SimJob
     /** Instructions to measure (after cfg.warmupInsts of warm-up). */
     std::uint64_t measureInsts = 0;
 
+    /**
+     * Collect the per-stage wall-clock breakdown while running
+     * (Simulator::setProfiling). Deliberately *not* part of SimConfig:
+     * profiling never changes simulated behaviour, so it must not
+     * perturb configFingerprint()/prefixKey() either.
+     */
+    bool profile = false;
+
     /** Workload recipe; owned, cloned on job copy. */
     std::unique_ptr<TraceSourceFactory> sources;
 
@@ -78,7 +86,7 @@ struct SimJob
     SimJob &operator=(SimJob &&) = default;
     SimJob(const SimJob &o)
         : index(o.index), label(o.label), cfg(o.cfg),
-          measureInsts(o.measureInsts),
+          measureInsts(o.measureInsts), profile(o.profile),
           sources(o.sources ? o.sources->clone() : nullptr)
     {}
     SimJob &
@@ -89,6 +97,7 @@ struct SimJob
             label = o.label;
             cfg = o.cfg;
             measureInsts = o.measureInsts;
+            profile = o.profile;
             sources = o.sources ? o.sources->clone() : nullptr;
         }
         return *this;
@@ -176,6 +185,18 @@ class SweepSpec
 
     /** The grid, in result order. */
     const std::vector<SimJob> &jobs() const { return jobs_; }
+
+    /**
+     * Request the per-stage wall-clock profile (SimJob::profile) on
+     * every job already in the grid. Profiling never changes simulated
+     * results, only RunResult::profile.
+     */
+    void
+    setProfile(bool on)
+    {
+        for (SimJob &job : jobs_)
+            job.profile = on;
+    }
 
     /** Number of points. */
     std::size_t size() const { return jobs_.size(); }

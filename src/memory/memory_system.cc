@@ -31,9 +31,16 @@ MemorySystem::beginCycle(Cycle now)
     currentCycle_ = now;
     portsUsed_ = 0;
     // Recycle MSHRs whose fills completed; the frame becomes a normal
-    // valid (and possibly dirty) line.
+    // valid (and possibly dirty) line. The earliest-fill watermark makes
+    // the common no-fill-due cycle a single comparison instead of a
+    // full MSHR scan.
+    if (now < nextFillAt_)
+        return;
+    Cycle next = kNoCycle;
     for (auto &m : mshrs_) {
-        if (m.valid && m.readyAt <= now) {
+        if (!m.valid)
+            continue;
+        if (m.readyAt <= now) {
             Line &line = lines_[m.frame];
             MTDAE_ASSERT(line.pendingMshr >= 0, "fill without pending line");
             line.pendingMshr = -1;
@@ -44,8 +51,11 @@ MemorySystem::beginCycle(Cycle now)
             m.valid = false;
             MTDAE_ASSERT(mshrsInUse_ > 0, "MSHR accounting underflow");
             --mshrsInUse_;
+        } else if (m.readyAt < next) {
+            next = m.readyAt;
         }
     }
+    nextFillAt_ = next;
 }
 
 MemorySystem::Mshr *
@@ -159,6 +169,8 @@ MemorySystem::access(Addr addr, bool is_store, Cycle now)
     m->makeDirty = is_store;
     m->frame = frame;
     ++mshrsInUse_;
+    if (fill_done < nextFillAt_)
+        nextFillAt_ = fill_done;
 
     l1.pendingMshr = static_cast<std::int32_t>(m - mshrs_.data());
     l1.valid = false;
@@ -241,6 +253,11 @@ MemorySystem::restore(ByteReader &r)
     mshrsInUse_ = r.u32();
     portsUsed_ = r.u32();
     currentCycle_ = r.u64();
+    // Rebuild the derived earliest-fill watermark from the MSHR state.
+    nextFillAt_ = kNoCycle;
+    for (const Mshr &m : mshrs_)
+        if (m.valid && m.readyAt < nextFillAt_)
+            nextFillAt_ = m.readyAt;
     bus_.restore(r);
     dram_.restore(r);
     l2_.restore(r);

@@ -201,6 +201,10 @@ class MemorySystem
     std::uint32_t mshrsInUse_ = 0;
     std::uint32_t portsUsed_ = 0;
     Cycle currentCycle_ = 0;
+    /** Earliest readyAt of any in-flight MSHR fill (kNoCycle when none):
+     *  beginCycle skips the recycle scan until a fill is actually due.
+     *  Derived state — recomputed on restore, never serialized. */
+    Cycle nextFillAt_ = kNoCycle;
 
     Bus bus_;
     Dram dram_;

@@ -26,6 +26,12 @@ class RotatingOrder
     rotation(std::vector<ThreadId> &out) const
     {
         out.clear();
+        if (nthreads_ == 1) {
+            // Single-thread machines dominate sweep grids; skip the
+            // modular walk (and the callers' stable_sort) outright.
+            out.push_back(0);
+            return;
+        }
         out.reserve(nthreads_);
         for (std::uint32_t i = 0; i < nthreads_; ++i)
             out.push_back((rr_ + i) % nthreads_);
@@ -41,10 +47,11 @@ class RotatingOrder
                      std::vector<ThreadId> &out) const
     {
         rotation(out);
-        std::stable_sort(out.begin(), out.end(),
-                         [&](ThreadId a, ThreadId b) {
-                             return key(threads[a]) < key(threads[b]);
-                         });
+        if (out.size() > 1)
+            std::stable_sort(out.begin(), out.end(),
+                             [&](ThreadId a, ThreadId b) {
+                                 return key(threads[a]) < key(threads[b]);
+                             });
     }
 
     void advance() { rr_ = (rr_ + 1) % nthreads_; }

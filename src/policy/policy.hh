@@ -115,6 +115,9 @@ struct ThreadState
     {
         return fetchBufOccupancy + apQueueOccupancy + iqOccupancy;
     }
+
+    /** Field-wise equality (the snapshot-cache coherence check). */
+    bool operator==(const ThreadState &) const = default;
 };
 
 /**

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "policy/policy.hh"
@@ -592,6 +593,64 @@ TEST(PolicyGolden, DefaultPoliciesReproducePrePolicyLayerCsvs)
         EXPECT_EQ(got, want)
             << name << ": default-policy output drifted from the "
             << "pre-policy-layer simulator";
+    }
+}
+
+TEST(PolicyContract, EveryOrderIsAFullPermutation)
+{
+    // The contract Simulator::accountSlots leans on (its
+    // reasons[s % reasons.size()] round-robin asserts a non-empty
+    // order): every policy's visit order is a permutation of all
+    // thread ids — never empty, never duplicated, never filtered.
+    // Eligibility is the Simulator's job, applied after the policy.
+    Rng rng(0x6f72646572);
+    for (std::uint32_t n : {1u, 2u, 3u, 6u}) {
+        auto ts = blankStates(n);
+        for (auto &t : ts) {
+            t.fetchBufOccupancy = std::uint32_t(rng.uniform(9));
+            t.apQueueOccupancy = std::uint32_t(rng.uniform(9));
+            t.iqOccupancy = std::uint32_t(rng.uniform(9));
+            t.robOccupancy = std::uint32_t(rng.uniform(17));
+            t.unresolvedBranches = std::uint32_t(rng.uniform(5));
+            t.outstandingMisses = std::uint32_t(rng.uniform(5));
+            t.iqOccupancyWindow = std::uint32_t(rng.uniform(99));
+        }
+        const auto is_permutation = [n](Order order) {
+            if (order.size() != n)
+                return false;
+            std::sort(order.begin(), order.end());
+            for (std::uint32_t i = 0; i < n; ++i)
+                if (order[i] != i)
+                    return false;
+            return true;
+        };
+        for (const PolicyKind fk : fetchPolicies()) {
+            auto pol = makeFetchPolicy(
+                threadedCfg(n, fk, PolicyKind::RoundRobin));
+            Order order;
+            for (int cycle = 0; cycle < 8; ++cycle) {
+                pol->fetchOrder(ts, order);
+                EXPECT_TRUE(is_permutation(order))
+                    << policyName(fk) << " n=" << n;
+                pol->endCycle();
+            }
+        }
+        for (const PolicyKind ik : issuePolicies()) {
+            auto pol = makeArbitrationPolicy(
+                threadedCfg(n, PolicyKind::Icount, ik));
+            Order order;
+            for (int cycle = 0; cycle < 8; ++cycle) {
+                pol->dispatchOrder(ts, order);
+                EXPECT_TRUE(is_permutation(order))
+                    << policyName(ik) << " dispatch n=" << n;
+                for (const Unit u : {Unit::AP, Unit::EP}) {
+                    pol->issueOrder(u, ts, order);
+                    EXPECT_TRUE(is_permutation(order))
+                        << policyName(ik) << " issue n=" << n;
+                }
+                pol->endCycle();
+            }
+        }
     }
 }
 

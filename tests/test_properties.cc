@@ -258,3 +258,60 @@ TEST_P(PortSweepTest, RunsCorrectlyWithAnyPortCount)
 
 INSTANTIATE_TEST_SUITE_P(Ports, PortSweepTest,
                          ::testing::Values(1, 2, 4, 8));
+
+class SnapshotCacheFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SnapshotCacheFuzzTest, CachedThreadStatesMatchRecomputation)
+{
+    // Fuzz the incremental ThreadState cache (Simulator::
+    // refreshThreadStates): on a random kernel and machine — gating
+    // policies included, since flush mutates fetch state outside the
+    // normal stages — every cached snapshot a policy could be served
+    // must equal a from-scratch recomputation, every single cycle.
+    // Also cross-checks the SAQ word index against the reference
+    // linear walk it replaced in the issue stage.
+    const std::uint64_t seed = GetParam();
+    Rng rng(deriveSeed(0x73636163, seed));
+    const Kernel k = randomKernel(seed);
+
+    SimConfig cfg = testConfig(1 + rng.uniform(3));
+    cfg.decoupled = rng.bernoulli(0.7);
+    cfg.l2Latency = rng.bernoulli(0.5) ? 64 : 16;
+    cfg.fetchPolicy =
+        fetchPolicies()[rng.uniform(fetchPolicies().size())];
+    cfg.issuePolicy =
+        issuePolicies()[rng.uniform(issuePolicies().size())];
+    cfg.warmupInsts = 0;
+
+    Simulator sim = makeSim(cfg, k, 200);
+    std::uint64_t steps = 0;
+    while (!sim.allDone()) {
+        sim.step();
+        ASSERT_LT(++steps, 4000000u) << "deadlock in " << k.name;
+        ASSERT_TRUE(sim.threadStateCacheCoherent())
+            << k.name << " at cycle " << sim.now();
+        for (ThreadId t = 0; t < cfg.numThreads; ++t) {
+            const Context &ctx = sim.context(t);
+            // A probe seq newer than everything in flight makes the
+            // reference walk answer the same question as the index.
+            const InstSeq probe = ctx.nextSeq + 1;
+            for (const SaqEntry &e : ctx.saq) {
+                if (!e.addrValid)
+                    continue;
+                EXPECT_TRUE(ctx.saqForwardsFast(e.addr));
+                EXPECT_EQ(ctx.saqForwardsFast(e.addr),
+                          ctx.saqForwards(probe, e.addr));
+                const Addr miss = e.addr + 64 * 1024 * 1024;
+                EXPECT_EQ(ctx.saqForwardsFast(miss),
+                          ctx.saqForwards(probe, miss));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotCacheFuzzTest,
+                         ::testing::Range(std::uint64_t(1),
+                                          std::uint64_t(21)));
