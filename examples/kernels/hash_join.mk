@@ -1,0 +1,25 @@
+# hash_join: database probe loop. A strided scan of the probe relation
+# hashes each key into a param-sized bucket table; the bucket head is a
+# pointer loaded back into the index register itself (a true
+# load-to-address dependence), and a miss walks one conflict link.
+kernel hash_join
+
+param build_bytes = 4M   # hash table footprint (sweepable)
+param probe_stride = 8   # probe relation element stride
+param hit_prob = 0.75    # probability the first bucket entry matches
+
+stream probe = strided(1M, probe_stride)
+reg h : int
+stream buckets = gather(build_bytes) index h
+
+let k = loadi(probe)
+ishift h = k             # hash: fold the key into a bucket index
+loadi h = buckets        # bucket head -> h (load feeds its own address)
+let cmp = icmp(h, k)
+branch cmp prob hit_prob skip 2
+loadi h = buckets        # miss: follow one conflict-chain link
+ilogic h = h
+let v = loadf(buckets)   # matched payload
+reg agg : fp
+fadd agg = agg, v
+advance probe

@@ -1,0 +1,24 @@
+# pointer_chase: linked-structure traversal. The chain stream walks a
+# deterministic pseudo-random permutation of a param-sized footprint —
+# no spatial locality for the cache and no stride for the AP to run
+# ahead on. Each hop loads the next pointer into the register that the
+# following arithmetic consumes, so perceived load latency lands
+# squarely on the critical path.
+#
+# This is the worked example in docs/KERNEL_DSL.md.
+kernel pointer_chase
+
+param footprint = 1M   # bytes walked by the chain (sweepable)
+param node = 16        # node size in bytes
+param unroll = 4       # hops per kernel iteration
+
+stream nodes = chain(footprint, node)
+reg sum : fp
+
+loop unroll {
+    let p = loadi(nodes)    # fetch the next-pointer field
+    ilogic p = p            # mask/align the loaded pointer
+    let v = loadf(nodes)    # payload in the same node
+    fadd sum = sum, v
+    advance nodes           # hop: address register consumes the walk
+}

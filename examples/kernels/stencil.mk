@@ -1,0 +1,44 @@
+# stencil: parameterised relaxation sweep. Three row streams (south
+# shares the centre walker), a param-controlled number of passes, and a
+# compile-time `if` that widens the update for taps > 3. Demonstrates
+# loops with index variables and scalar conditionals: the whole
+# structure is resolved at compile time, so the instruction trace stays
+# deterministic.
+kernel stencil
+
+param plane = 2M    # plane footprint in bytes (sweepable)
+param taps = 3      # stencil taps: > 3 adds a diagonal term
+param passes = 1    # relaxation passes unrolled into the body
+
+stream north = strided(plane, 8)
+stream center = strided(4K, 24)
+stream south = strided(4K, 24) share center
+stream out = strided(plane, 8)
+
+loop passes {
+    let n = loadf(north)
+    let c = loadf(center)
+    let s = loadf(south)
+    let t0 = fmul(n, c)
+    let t1 = fadd(c, s)
+    let t2 = fsub(s, n)
+    reg acc : fp
+    fma acc = t0, t1, acc
+    if taps > 3 {
+        let t3 = fadd(t1, t2)
+        storef out, t3
+    } else {
+        storef out, t1
+    }
+    advance north
+    advance out
+}
+
+# Per-row index bookkeeping: every other row recomputes its offset.
+loop taps as r {
+    if r % 2 == 0 {
+        reg scratch : int
+        iadd scratch = scratch
+        ishift scratch = scratch
+    }
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# Benchmark the kernel-DSL sweep path: time `mtdae ablate-dsl` over a
+# pointer-chase param grid at --jobs=1 versus --jobs=N (each job
+# re-compiles the .mk text, so interpreter overhead is on the clock),
+# verify the two runs produce byte-identical CSV, and emit
+# BENCH_dsl.json with the wall-clock numbers and the speedup.
+#
+# Usage: scripts/bench_dsl.sh [build-dir]     (default: build)
+#
+# Environment:
+#   MTDAE_JOBS    parallel worker count          (default: nproc)
+#   BENCH_INSTS   per-run instruction budget     (default: 20000)
+#   BENCH_OUT     output JSON path               (default: BENCH_dsl.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+MTDAE="$BUILD_DIR/mtdae"
+JOBS="${MTDAE_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+INSTS="${BENCH_INSTS:-20000}"
+OUT="${BENCH_OUT:-BENCH_dsl.json}"
+KERNEL="examples/kernels/pointer_chase.mk"
+
+[ -x "$MTDAE" ] || { echo "error: $MTDAE not built" >&2; exit 1; }
+[ -f "$KERNEL" ] || { echo "error: $KERNEL missing" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Current time in milliseconds: nanosecond resolution where date
+# supports %N (GNU), whole seconds elsewhere (BSD prints a literal N).
+now_ms() {
+    ns=$(date +%s%N 2>/dev/null || echo x)
+    case "$ns" in
+        ''|*[!0-9]*) echo $(( $(date +%s) * 1000 )) ;;
+        *) echo $(( ns / 1000000 )) ;;
+    esac
+}
+
+# Milliseconds of wall clock spent running "$@".
+time_ms() {
+    start=$(now_ms)
+    "$@"
+    end=$(now_ms)
+    echo $(( end - start ))
+}
+
+run_grid() {
+    "$MTDAE" ablate-dsl --kernel-file="$KERNEL" \
+        --kernel-param=footprint=16K,1M --kernel-param=unroll=2,4 \
+        --threads-list=1,2 --insts="$INSTS" --warmup=2000 \
+        --quiet --jobs="$1" --out="$2"
+}
+
+echo "timing: mtdae ablate-dsl ($KERNEL) --insts=$INSTS ..." >&2
+SERIAL_MS=$(time_ms run_grid 1 "$TMP/serial")
+echo "  --jobs=1: ${SERIAL_MS} ms" >&2
+PARALLEL_MS=$(time_ms run_grid "$JOBS" "$TMP/parallel")
+echo "  --jobs=$JOBS: ${PARALLEL_MS} ms" >&2
+
+if cmp -s "$TMP/serial/ablate_dsl.csv" "$TMP/parallel/ablate_dsl.csv"; then
+    IDENTICAL=true
+else
+    IDENTICAL=false
+fi
+
+POINTS=$(awk 'NR > 1' "$TMP/serial/ablate_dsl.csv" | wc -l | tr -d ' ')
+SPEEDUP=$(awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" \
+    'BEGIN { printf "%.3f", (p > 0) ? s / p : 0 }')
+
+cat > "$OUT" <<EOF
+{
+  "experiment": "ablate-dsl",
+  "kernel": "pointer_chase",
+  "grid_points": $POINTS,
+  "insts_per_run": $INSTS,
+  "jobs": $JOBS,
+  "serial_ms": $SERIAL_MS,
+  "parallel_ms": $PARALLEL_MS,
+  "speedup": $SPEEDUP,
+  "csv_identical": $IDENTICAL
+}
+EOF
+echo "wrote $OUT (speedup ${SPEEDUP}x, identical=$IDENTICAL)" >&2
+
+[ "$IDENTICAL" = true ] || {
+    echo "error: --jobs=1 and --jobs=$JOBS CSVs differ" >&2
+    exit 1
+}

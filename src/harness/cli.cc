@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
 #include <functional>
 #include <map>
@@ -14,6 +15,7 @@
 #include "core/slot_stats.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
+#include "workload/dsl/interp.hh"
 #include "workload/spec_fp95.hh"
 
 namespace mtdae::cli {
@@ -90,6 +92,106 @@ parseU32List(const std::string &s, std::vector<std::uint32_t> &out,
         return false;
     }
     return true;
+}
+
+/**
+ * Parse one --kernel-param value: a number with an optional binary
+ * K/M/G suffix, matching the DSL's own numeric literals.
+ */
+bool
+parseParamValue(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str())
+        return false;
+    double mult = 1.0;
+    if (*end == 'K') {
+        mult = 1024.0;
+        ++end;
+    } else if (*end == 'M') {
+        mult = 1024.0 * 1024.0;
+        ++end;
+    } else if (*end == 'G') {
+        mult = 1024.0 * 1024.0 * 1024.0;
+        ++end;
+    }
+    if (*end != '\0')
+        return false;
+    out = v * mult;
+    return true;
+}
+
+/** Shortest decimal form that parses back to the same double. */
+std::string
+paramText(double v)
+{
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/**
+ * The --kernel-param overrides as single values (`run --bench=dsl`):
+ * comma lists are grid axes and only ablate-dsl crosses them.
+ *
+ * @throws dsl::DslError on a malformed value (runCli reports it as a
+ *         usage error)
+ */
+dsl::ParamOverrides
+singleKernelOverrides(const Options &opts)
+{
+    dsl::ParamOverrides ov;
+    for (const auto &[name, value] : opts.kernelParams) {
+        double v = 0.0;
+        if (!parseParamValue(value, v))
+            throw dsl::DslError(
+                0, 0,
+                "bad --kernel-param value '" + value + "' for '" +
+                    name +
+                    "' (one number; comma lists are ablate-dsl grid "
+                    "axes)");
+        ov.emplace_back(name, v);
+    }
+    return ov;
+}
+
+/** One ablate-dsl sweep axis: a param name and its grid values. */
+struct KernelAxis
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/**
+ * The --kernel-param flags as sweep axes, in flag order.
+ *
+ * @throws dsl::DslError on a malformed value
+ */
+std::vector<KernelAxis>
+kernelAxes(const Options &opts)
+{
+    std::vector<KernelAxis> axes;
+    for (const auto &[name, value] : opts.kernelParams) {
+        KernelAxis axis;
+        axis.name = name;
+        for (const auto &part : splitCommas(value)) {
+            double v = 0.0;
+            if (!parseParamValue(part, v))
+                throw dsl::DslError(0, 0,
+                                    "bad --kernel-param value '" +
+                                        part + "' for '" + name + "'");
+            axis.values.push_back(v);
+        }
+        if (axis.values.empty())
+            throw dsl::DslError(0, 0,
+                                "empty --kernel-param value for '" +
+                                    name + "'");
+        axes.push_back(std::move(axis));
+    }
+    return axes;
 }
 
 /** One SimConfig override knob: apply a string value to a config. */
@@ -274,6 +376,16 @@ expRun(const Options &opts, std::ostream &err)
         benches = {"suite-mix"};
     const auto threads = sweepOr(opts.threads, {1});
     const auto lats = sweepOr(opts.latencies, {16});
+    // The DSL workload is compiled once here so a bad kernel file
+    // fails before any job is queued (runCli reports the DslError).
+    std::string dsl_text;
+    dsl::ParamOverrides dsl_params;
+    if (std::find(benches.begin(), benches.end(), "dsl") !=
+        benches.end()) {
+        dsl_text = dsl::readKernelFile(opts.kernelFile);
+        dsl_params = singleKernelOverrides(opts);
+        (void)dsl::compileKernel(dsl_text, dsl_params);
+    }
     SweepSpec spec;
     for (const auto &bench : benches) {
         for (const std::uint32_t n : threads) {
@@ -284,6 +396,9 @@ expRun(const Options &opts, std::ostream &err)
                                           std::to_string(lat);
                 if (bench == "suite-mix")
                     spec.addSuiteMix(cfg, insts * n, label);
+                else if (bench == "dsl")
+                    spec.addDsl(cfg, dsl_text, dsl_params, insts * n,
+                                label);
                 else
                     spec.addBenchmark(cfg, bench, insts * n, label);
             }
@@ -970,6 +1085,86 @@ expAblateCheckpoint(const Options &opts, std::ostream &err)
     return rs;
 }
 
+/**
+ * ablate-dsl: a DSL kernel file as a first-class sweep axis. Every
+ * comma-listed --kernel-param becomes a grid dimension (crossed in flag
+ * order, first flag outermost), swept against the thread counts; the
+ * kernel is recompiled per point with that point's param values, so the
+ * text file plays the role the ten C++ benchmark models play in the
+ * figure sweeps.
+ */
+ResultSet
+expAblateDsl(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_dsl";
+    const std::string text = dsl::readKernelFile(opts.kernelFile);
+    const std::string kname = dsl::compileKernel(text).name;
+    const auto axes = kernelAxes(opts);
+    const auto threads = sweepOr(opts.threads, {1, 4});
+    const std::uint32_t lat =
+        opts.latencies.empty() ? 16 : opts.latencies.front();
+    const std::uint64_t insts = budget(opts, 150000);
+
+    rs.header = {"kernel"};
+    for (const auto &axis : axes)
+        rs.header.push_back(axis.name);
+    for (const char *h : {"threads", "l2_latency", "ipc",
+                          "perceived_fp", "perceived_int", "load_miss",
+                          "bus_util", "cycles", "insts"})
+        rs.header.push_back(h);
+
+    // The full cross product of the param axes, first flag outermost:
+    // the row order is the nested-loop order, like every other sweep.
+    std::vector<std::vector<double>> combos = {{}};
+    for (const auto &axis : axes) {
+        std::vector<std::vector<double>> next;
+        for (const auto &combo : combos) {
+            for (const double v : axis.values) {
+                next.push_back(combo);
+                next.back().push_back(v);
+            }
+        }
+        combos = std::move(next);
+    }
+
+    SweepSpec spec;
+    for (const auto &combo : combos) {
+        dsl::ParamOverrides params;
+        std::string point = kname;
+        for (std::size_t i = 0; i < axes.size(); ++i) {
+            params.emplace_back(axes[i].name, combo[i]);
+            point += " " + axes[i].name + "=" + paramText(combo[i]);
+        }
+        for (const std::uint32_t n : threads) {
+            const SimConfig cfg = makeCfg(opts, n, true, lat);
+            spec.addDsl(cfg, text, params, insts * n,
+                        point + " " + std::to_string(n) + "T");
+        }
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const auto &combo : combos) {
+        for (const std::uint32_t n : threads) {
+            const RunResult &r = results.at(k++);
+            std::vector<std::string> row = {kname};
+            for (const double v : combo)
+                row.push_back(paramText(v));
+            const std::string tail[] = {
+                std::to_string(n), std::to_string(lat), fmt(r.ipc),
+                fmt(r.perceivedFp), fmt(r.perceivedInt),
+                fmt(r.loadMissRatio), fmt(r.busUtilization),
+                std::to_string(r.cycles), std::to_string(r.insts)};
+            for (const std::string &cell : tail)
+                row.push_back(cell);
+            rs.rows.push_back(std::move(row));
+        }
+    }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
+    return rs;
+}
+
 using ExperimentFn = ResultSet (*)(const Options &, std::ostream &);
 
 struct Entry
@@ -1015,6 +1210,9 @@ registry()
         {{"ablate-checkpoint",
           "warm-start fan-out grid (shared warmup checkpoints)"},
          expAblateCheckpoint},
+        {{"ablate-dsl",
+          "DSL kernel-file param grid (--kernel-file, --kernel-param)"},
+         expAblateDsl},
     };
     return entries;
 }
@@ -1161,6 +1359,22 @@ parseArgs(const std::vector<std::string> &args, Options &opts,
                 error = "--bench needs a benchmark list";
                 return false;
             }
+        } else if (key == "kernel-file") {
+            if (value.empty()) {
+                error = "--kernel-file needs a path";
+                return false;
+            }
+            opts.kernelFile = value;
+        } else if (key == "kernel-param") {
+            const auto peq = value.find('=');
+            if (peq == std::string::npos || peq == 0 ||
+                peq + 1 == value.size()) {
+                error = "bad --kernel-param '" + value +
+                        "' (need NAME=VALUE)";
+                return false;
+            }
+            opts.kernelParams.emplace_back(value.substr(0, peq),
+                                           value.substr(peq + 1));
         } else if (key == "threads-list") {
             if (!parseU32List(value, opts.threads, error))
                 return false;
@@ -1285,6 +1499,13 @@ printHelp(std::ostream &os)
           "  --insts=N         instructions to measure per run\n"
           "  --bench=A,B       benchmark subset (fig1/run); 'suite-mix'"
           " allowed for run\n"
+          "  --kernel-file=F   kernel DSL file (docs/KERNEL_DSL.md)"
+          " for\n"
+          "                    --bench=dsl and ablate-dsl\n"
+          "  --kernel-param=K=V  override a DSL param (repeatable);"
+          " a comma-\n"
+          "                    listed value is an ablate-dsl grid"
+          " axis\n"
           "  --threads-list=L  override the swept thread counts\n"
           "  --latencies=L     override the swept L2 latencies\n"
           "                    (for fig4-dram: the DRAM slowdown"
@@ -1355,7 +1576,13 @@ printHelp(std::ostream &os)
           " --warm-start=1\n"
           "  mtdae fig5 --issue-policy=misscount --quiet\n"
           "  mtdae fig5 --fetch-policy=stall --issue-policy=split\n"
-          "  mtdae run --bench=tomcatv --threads=4 --l2-latency=64\n";
+          "  mtdae run --bench=tomcatv --threads=4 --l2-latency=64\n"
+          "  mtdae run --bench=dsl"
+          " --kernel-file=examples/kernels/pointer_chase.mk\n"
+          "  mtdae ablate-dsl"
+          " --kernel-file=examples/kernels/pointer_chase.mk \\\n"
+          "        --kernel-param=footprint=64K,4M"
+          " --threads-list=1,4\n";
 }
 
 int
@@ -1392,8 +1619,25 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
                "rebuild with -DMTDAE_PROFILE=ON\n";
         return 2;
     }
+    if (opts.experiment == "ablate-dsl" && opts.kernelFile.empty()) {
+        err << "mtdae: ablate-dsl needs --kernel-file=PATH\n";
+        return 2;
+    }
     for (const auto &bench : opts.benchmarks) {
         const auto &names = specFp95Names();
+        if (bench == "dsl") {
+            // The DSL workload rides only on `run`, and needs a file.
+            if (opts.experiment != "run") {
+                err << "mtdae: --bench=dsl is only supported by the "
+                       "run experiment\n";
+                return 2;
+            }
+            if (opts.kernelFile.empty()) {
+                err << "mtdae: --bench=dsl needs --kernel-file=PATH\n";
+                return 2;
+            }
+            continue;
+        }
         // Only `run` knows how to drive the suite-mix workload; the
         // figure sweeps need a concrete benchmark model.
         const bool mix_ok =
@@ -1420,7 +1664,26 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         }
     }
 
-    const ResultSet rs = runExperiment(opts, err);
+    ResultSet rs;
+    try {
+        rs = runExperiment(opts, err);
+    } catch (const dsl::DslError &e) {
+        // A kernel file that fails to read or compile is user input,
+        // not a simulator fault: report the position and exit as a
+        // usage error.
+        err << "mtdae: ";
+        if (e.line > 0) {
+            // Positioned compile error: file:line:col: message.
+            if (!opts.kernelFile.empty())
+                err << opts.kernelFile << ":";
+            err << e.what();
+        } else {
+            // Positionless (bad file, bad override): message only.
+            err << e.message;
+        }
+        err << "\n";
+        return 2;
+    }
 
     if (!opts.quiet) {
         TextTable t;

@@ -75,6 +75,21 @@ struct Options
      */
     bool profile = false;
 
+    /**
+     * Kernel DSL file (--kernel-file): the workload for `run
+     * --bench=dsl` and for the ablate-dsl experiment
+     * (docs/KERNEL_DSL.md).
+     */
+    std::string kernelFile;
+
+    /**
+     * DSL param overrides (--kernel-param=NAME=VALUE, repeatable), in
+     * flag order. ablate-dsl treats a comma-listed VALUE as a sweep
+     * axis and crosses the axes; everywhere else a VALUE must be a
+     * single number (with an optional binary K/M/G suffix).
+     */
+    std::vector<std::pair<std::string, std::string>> kernelParams;
+
     /** Suppress the human-readable table on stdout. */
     bool quiet = false;
 

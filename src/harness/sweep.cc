@@ -92,6 +92,16 @@ SweepSpec::addBenchmark(const SimConfig &cfg, const std::string &bench,
                std::move(label), seed_stream);
 }
 
+SimJob &
+SweepSpec::addDsl(const SimConfig &cfg, const std::string &kernel_text,
+                  const dsl::ParamOverrides &params,
+                  std::uint64_t measure_insts, std::string label,
+                  std::uint64_t seed_stream)
+{
+    return add(cfg, dsl::makeDslFactory(kernel_text, params),
+               measure_insts, std::move(label), seed_stream);
+}
+
 JobRunner::JobRunner(std::uint32_t workers, bool warm_start)
     : workers_(workers ? workers : defaultJobs()), warmStart_(warm_start)
 {}

@@ -44,6 +44,7 @@
 #include "common/config.hh"
 #include "core/simulator.hh"
 #include "core/snapshot.hh"
+#include "workload/dsl/interp.hh"
 #include "workload/trace_source.hh"
 
 namespace mtdae {
@@ -182,6 +183,18 @@ class SweepSpec
                          std::uint64_t measure_insts,
                          std::string label = "",
                          std::uint64_t seed_stream = kSeedFromIndex);
+
+    /**
+     * Append a DSL-kernel point: @p kernel_text is compiled (with
+     * @p params overriding its declared defaults) into a factory that
+     * binds the kernel to every context, the same workload shape as
+     * addBenchmark. Throws DslError, on the caller's thread, when the
+     * text does not compile.
+     */
+    SimJob &addDsl(const SimConfig &cfg, const std::string &kernel_text,
+                   const dsl::ParamOverrides &params,
+                   std::uint64_t measure_insts, std::string label = "",
+                   std::uint64_t seed_stream = kSeedFromIndex);
 
     /** The grid, in result order. */
     const std::vector<SimJob> &jobs() const { return jobs_; }

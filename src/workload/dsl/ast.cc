@@ -1,0 +1,215 @@
+#include "workload/dsl/ast.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+
+namespace mtdae::dsl {
+
+namespace {
+
+/**
+ * Shortest decimal form that parses back to the same double AND lexes
+ * as a DSL numeric literal: whole values print as plain integers and
+ * fractions in fixed notation — never scientific (the lexer has no
+ * exponent syntax), so printProgram() output always reparses.
+ */
+std::string
+numText(double v)
+{
+    char buf[348];
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::abs(v) <= 9007199254740992.0) {
+        const auto res =
+            std::to_chars(buf, buf + sizeof(buf), std::int64_t(v));
+        return std::string(buf, res.ptr);
+    }
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                   std::chars_format::fixed);
+    return std::string(buf, res.ptr);
+}
+
+void
+printExpr(const Expr &e, std::string &out)
+{
+    switch (e.kind) {
+      case Expr::Kind::Num:
+        out += numText(e.num);
+        return;
+      case Expr::Kind::Var:
+        out += e.name;
+        return;
+      case Expr::Kind::Unary:
+        out += "(-";
+        printExpr(*e.lhs, out);
+        out += ")";
+        return;
+      case Expr::Kind::Binary:
+        out += "(";
+        printExpr(*e.lhs, out);
+        out += " ";
+        out += e.op;
+        out += " ";
+        printExpr(*e.rhs, out);
+        out += ")";
+        return;
+    }
+}
+
+void
+printOperand(const Operand &o, std::string &out)
+{
+    if (o.isAddr) {
+        out += "addr(";
+        out += o.name;
+        out += ")";
+    } else {
+        out += o.name;
+    }
+}
+
+void
+printStreamInit(const StreamInit &s, std::string &out)
+{
+    switch (s.kind) {
+      case StreamInit::Kind::Strided:
+        out += "strided(";
+        printExpr(*s.footprint, out);
+        out += ", ";
+        printExpr(*s.stride, out);
+        if (s.elem) {
+            out += ", ";
+            printExpr(*s.elem, out);
+        }
+        out += ")";
+        if (!s.shareWith.empty()) {
+            out += " share ";
+            out += s.shareWith;
+        }
+        return;
+      case StreamInit::Kind::Gather:
+        out += "gather(";
+        printExpr(*s.footprint, out);
+        if (s.elem) {
+            out += ", ";
+            printExpr(*s.elem, out);
+        }
+        out += ") index ";
+        printOperand(s.index, out);
+        return;
+      case StreamInit::Kind::Chain:
+        out += "chain(";
+        printExpr(*s.footprint, out);
+        if (s.elem) {
+            out += ", ";
+            printExpr(*s.elem, out);
+        }
+        out += ")";
+        return;
+    }
+}
+
+void printStmts(const std::vector<Stmt> &stmts, int depth,
+                std::string &out);
+
+void
+printStmt(const Stmt &s, int depth, std::string &out)
+{
+    out.append(std::size_t(depth) * 4, ' ');
+    switch (s.kind) {
+      case Stmt::Kind::Param:
+        out += "param " + s.name + " = ";
+        printExpr(*s.e0, out);
+        break;
+      case Stmt::Kind::Stream:
+        out += "stream " + s.name + " = ";
+        printStreamInit(s.stream, out);
+        break;
+      case Stmt::Kind::Reg:
+        out += "reg " + s.name + " : ";
+        out += s.regIsFp ? "fp" : "int";
+        break;
+      case Stmt::Kind::Let:
+        out += "let " + s.name + " = " + s.op + "(";
+        for (std::size_t i = 0; i < s.args.size(); ++i) {
+            if (i)
+                out += ", ";
+            printOperand(s.args[i], out);
+        }
+        out += ")";
+        break;
+      case Stmt::Kind::OpInto:
+        out += s.op + " " + s.name + " = ";
+        for (std::size_t i = 0; i < s.args.size(); ++i) {
+            if (i)
+                out += ", ";
+            printOperand(s.args[i], out);
+        }
+        break;
+      case Stmt::Kind::Store:
+        out += s.op + " " + s.name + ", ";
+        printOperand(s.args[0], out);
+        break;
+      case Stmt::Kind::Advance:
+        out += "advance " + s.name;
+        break;
+      case Stmt::Kind::Branch:
+        out += s.op + " ";
+        printOperand(s.args[0], out);
+        out += " prob ";
+        printExpr(*s.e0, out);
+        if (s.e1) {
+            out += " skip ";
+            printExpr(*s.e1, out);
+        }
+        break;
+      case Stmt::Kind::Loop:
+        out += "loop ";
+        printExpr(*s.e0, out);
+        if (!s.name.empty())
+            out += " as " + s.name;
+        out += " {\n";
+        printStmts(s.body, depth + 1, out);
+        out.append(std::size_t(depth) * 4, ' ');
+        out += "}";
+        break;
+      case Stmt::Kind::If:
+        out += "if ";
+        printExpr(*s.cond.lhs, out);
+        if (!s.cond.relop.empty()) {
+            out += " " + s.cond.relop + " ";
+            printExpr(*s.cond.rhs, out);
+        }
+        out += " {\n";
+        printStmts(s.body, depth + 1, out);
+        out.append(std::size_t(depth) * 4, ' ');
+        out += "}";
+        if (s.hasElse) {
+            out += " else {\n";
+            printStmts(s.elseBody, depth + 1, out);
+            out.append(std::size_t(depth) * 4, ' ');
+            out += "}";
+        }
+        break;
+    }
+    out += "\n";
+}
+
+void
+printStmts(const std::vector<Stmt> &stmts, int depth, std::string &out)
+{
+    for (const Stmt &s : stmts)
+        printStmt(s, depth, out);
+}
+
+} // namespace
+
+std::string
+printProgram(const Program &p)
+{
+    std::string out = "kernel " + p.kernelName + "\n";
+    printStmts(p.items, 0, out);
+    return out;
+}
+
+} // namespace mtdae::dsl

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * AST of the kernel DSL. The parser (parser.hh) produces a Program;
+ * the interpreter (interp.hh) evaluates it into a Kernel. printProgram
+ * renders a canonical text form whose reparse is structurally equal to
+ * the original — the round-trip contract the property tests enforce.
+ */
+
+#ifndef MTDAE_WORKLOAD_DSL_AST_HH
+#define MTDAE_WORKLOAD_DSL_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mtdae::dsl {
+
+/** A compile-time scalar expression over numbers, params and indices. */
+struct Expr
+{
+    enum class Kind : std::uint8_t {
+        Num,     ///< Literal; value in num.
+        Var,     ///< Param or loop-index reference; name in name.
+        Unary,   ///< -lhs.
+        Binary,  ///< lhs op rhs; op one of + - * / %.
+    };
+
+    Kind kind = Kind::Num;
+    double num = 0.0;
+    std::string name;
+    char op = 0;
+    std::unique_ptr<Expr> lhs;
+    std::unique_ptr<Expr> rhs;
+    int line = 1;
+    int col = 1;
+};
+
+/** An `if` condition: lhs [relop rhs]; empty relop means lhs != 0. */
+struct Cond
+{
+    std::string relop;  ///< "", "==", "!=", "<", "<=", ">", ">=".
+    std::unique_ptr<Expr> lhs;
+    std::unique_ptr<Expr> rhs;
+};
+
+/** A value operand of an operation: a name or `addr(stream)`. */
+struct Operand
+{
+    std::string name;
+    bool isAddr = false;  ///< addr(name): the stream's address register.
+    int line = 1;
+    int col = 1;
+};
+
+/** The initializer of a `stream` declaration. */
+struct StreamInit
+{
+    enum class Kind : std::uint8_t { Strided, Gather, Chain };
+
+    Kind kind = Kind::Strided;
+    std::unique_ptr<Expr> footprint;
+    std::unique_ptr<Expr> stride;  ///< Strided only.
+    std::unique_ptr<Expr> elem;    ///< Optional; null = 8 bytes.
+    std::string shareWith;         ///< Strided only; "" = own register.
+    Operand index;                 ///< Gather only: the index register.
+};
+
+/** One statement (or top-level item) of a kernel program. */
+struct Stmt
+{
+    enum class Kind : std::uint8_t {
+        Param,    ///< param name = e0
+        Stream,   ///< stream name = init
+        Reg,      ///< reg name : int|fp
+        Let,      ///< let name = op(args...)
+        OpInto,   ///< op name = args...   (in-place)
+        Store,    ///< storef/storei name, args[0]
+        Advance,  ///< advance name
+        Branch,   ///< branch/branchf args[0] prob e0 [skip e1]
+        Loop,     ///< loop e0 [as name] { body }
+        If,       ///< if cond { body } [else { elseBody }]
+    };
+
+    Kind kind = Kind::Param;
+    int line = 1;
+    int col = 1;
+    std::string name;  ///< Declared name / stream name / loop variable.
+    std::string op;    ///< Operation or statement keyword spelling.
+    bool regIsFp = false;
+    StreamInit stream;
+    std::vector<Operand> args;
+    std::unique_ptr<Expr> e0;
+    std::unique_ptr<Expr> e1;
+    Cond cond;
+    std::vector<Stmt> body;
+    std::vector<Stmt> elseBody;
+    bool hasElse = false;
+};
+
+/** A parsed kernel program. */
+struct Program
+{
+    std::string kernelName;
+    int line = 1;
+    int col = 1;
+    std::vector<Stmt> items;
+};
+
+/**
+ * Render @p p as canonical DSL text. parse(printProgram(p)) is
+ * structurally equal to @p p (printProgram of the reparse is
+ * byte-identical), which is the AST round-trip contract.
+ */
+std::string printProgram(const Program &p);
+
+} // namespace mtdae::dsl
+
+#endif // MTDAE_WORKLOAD_DSL_AST_HH

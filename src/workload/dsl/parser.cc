@@ -1,0 +1,484 @@
+#include "workload/dsl/parser.hh"
+
+#include <memory>
+#include <utility>
+
+namespace mtdae::dsl {
+
+namespace {
+
+/** Operation names usable in `let` and in-place statements. */
+bool
+isOpName(const std::string &w)
+{
+    static const char *const ops[] = {
+        "loadf", "loadi",
+        "fadd", "fsub", "fmul", "fdiv", "fma", "fcmp", "fmov",
+        "iadd", "isub", "imul", "ilogic", "ishift", "icmp",
+        "movif", "movfi",
+    };
+    for (const char *op : ops)
+        if (w == op)
+            return true;
+    return false;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    Program
+    run()
+    {
+        Program p;
+        const Token &kw = peek();
+        if (!atKeyword("kernel"))
+            throw DslError(kw.line, kw.col,
+                           "expected 'kernel' at the start of the file");
+        get();
+        const Token name = expectIdent("a kernel name");
+        p.kernelName = name.text;
+        p.line = name.line;
+        p.col = name.col;
+        p.items = parseStmts(/*top_level=*/true);
+        return p;
+    }
+
+  private:
+    static constexpr int kMaxExprDepth = 64;
+    static constexpr int kMaxBlockDepth = 32;
+
+    const Token &peek() const { return toks_[pos_]; }
+
+    const Token &
+    get()
+    {
+        const Token &t = toks_[pos_];
+        if (t.kind != Token::Kind::Eof)
+            ++pos_;
+        return t;
+    }
+
+    bool
+    atKeyword(const char *word) const
+    {
+        return peek().kind == Token::Kind::Keyword && peek().text == word;
+    }
+
+    bool
+    atPunct(const char *p) const
+    {
+        return peek().kind == Token::Kind::Punct && peek().text == p;
+    }
+
+    Token
+    expectIdent(const char *what)
+    {
+        const Token &t = peek();
+        if (t.kind != Token::Kind::Ident)
+            throw DslError(t.line, t.col,
+                           std::string("expected ") + what + ", got '" +
+                               t.text + "'");
+        return get();
+    }
+
+    void
+    expectPunct(const char *p)
+    {
+        const Token &t = peek();
+        if (t.kind != Token::Kind::Punct || t.text != p)
+            throw DslError(t.line, t.col,
+                           std::string("expected '") + p + "', got '" +
+                               t.text + "'");
+        get();
+    }
+
+    void
+    expectKeyword(const char *word)
+    {
+        const Token &t = peek();
+        if (t.kind != Token::Kind::Keyword || t.text != word)
+            throw DslError(t.line, t.col,
+                           std::string("expected '") + word +
+                               "', got '" + t.text + "'");
+        get();
+    }
+
+    // --- expressions --------------------------------------------------
+
+    std::unique_ptr<Expr>
+    parseExpr(int depth = 0)
+    {
+        checkDepth(depth);
+        auto lhs = parseTerm(depth + 1);
+        while (atPunct("+") || atPunct("-")) {
+            const Token op = get();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Binary;
+            e->op = op.text[0];
+            e->line = op.line;
+            e->col = op.col;
+            e->lhs = std::move(lhs);
+            e->rhs = parseTerm(depth + 1);
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    std::unique_ptr<Expr>
+    parseTerm(int depth)
+    {
+        checkDepth(depth);
+        auto lhs = parseFactor(depth + 1);
+        while (atPunct("*") || atPunct("/") || atPunct("%")) {
+            const Token op = get();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Binary;
+            e->op = op.text[0];
+            e->line = op.line;
+            e->col = op.col;
+            e->lhs = std::move(lhs);
+            e->rhs = parseFactor(depth + 1);
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    std::unique_ptr<Expr>
+    parseFactor(int depth)
+    {
+        checkDepth(depth);
+        const Token &t = peek();
+        auto e = std::make_unique<Expr>();
+        e->line = t.line;
+        e->col = t.col;
+        if (t.kind == Token::Kind::Number) {
+            e->kind = Expr::Kind::Num;
+            e->num = get().num;
+            return e;
+        }
+        if (t.kind == Token::Kind::Ident) {
+            e->kind = Expr::Kind::Var;
+            e->name = get().text;
+            return e;
+        }
+        if (atPunct("(")) {
+            get();
+            auto inner = parseExpr(depth + 1);
+            expectPunct(")");
+            return inner;
+        }
+        if (atPunct("-")) {
+            get();
+            e->kind = Expr::Kind::Unary;
+            e->lhs = parseFactor(depth + 1);
+            return e;
+        }
+        throw DslError(t.line, t.col,
+                       "expected a number, a name or '(', got '" +
+                           t.text + "'");
+    }
+
+    void
+    checkDepth(int depth) const
+    {
+        if (depth > kMaxExprDepth)
+            throw DslError(peek().line, peek().col,
+                           "expression nested too deeply");
+    }
+
+    Cond
+    parseCond()
+    {
+        Cond c;
+        c.lhs = parseExpr();
+        static const char *const relops[] = {"==", "!=", "<=", ">=",
+                                             "<",  ">"};
+        for (const char *op : relops) {
+            if (atPunct(op)) {
+                c.relop = get().text;
+                c.rhs = parseExpr();
+                break;
+            }
+        }
+        return c;
+    }
+
+    // --- operands -----------------------------------------------------
+
+    Operand
+    parseOperand()
+    {
+        Operand o;
+        const Token &t = peek();
+        o.line = t.line;
+        o.col = t.col;
+        if (atKeyword("addr")) {
+            get();
+            expectPunct("(");
+            o.name = expectIdent("a stream name").text;
+            o.isAddr = true;
+            expectPunct(")");
+            return o;
+        }
+        o.name = expectIdent("a value name").text;
+        return o;
+    }
+
+    std::vector<Operand>
+    parseOperandList()
+    {
+        std::vector<Operand> args;
+        args.push_back(parseOperand());
+        while (atPunct(",")) {
+            get();
+            args.push_back(parseOperand());
+        }
+        return args;
+    }
+
+    // --- statements ---------------------------------------------------
+
+    std::vector<Stmt>
+    parseStmts(bool top_level)
+    {
+        std::vector<Stmt> items;
+        for (;;) {
+            if (top_level) {
+                if (peek().kind == Token::Kind::Eof)
+                    return items;
+            } else if (atPunct("}")) {
+                get();
+                return items;
+            } else if (peek().kind == Token::Kind::Eof) {
+                // The caller turns this into an "unterminated ... body"
+                // diagnostic at the opening brace.
+                throw UnterminatedBlock{};
+            }
+            items.push_back(parseStmt(top_level));
+        }
+    }
+
+    struct UnterminatedBlock
+    {};
+
+    std::vector<Stmt>
+    parseBlock(const char *what)
+    {
+        if (blockDepth_ >= kMaxBlockDepth)
+            throw DslError(peek().line, peek().col,
+                           "blocks nested too deeply");
+        const Token &open = peek();
+        expectPunct("{");
+        const int open_line = open.line;
+        const int open_col = open.col;
+        ++blockDepth_;
+        try {
+            auto body = parseStmts(/*top_level=*/false);
+            --blockDepth_;
+            return body;
+        } catch (const UnterminatedBlock &) {
+            throw DslError(open_line, open_col,
+                           std::string("unterminated ") + what +
+                               " body (missing '}')");
+        }
+    }
+
+    Stmt
+    parseStmt(bool top_level)
+    {
+        const Token &t = peek();
+        Stmt s;
+        s.line = t.line;
+        s.col = t.col;
+
+        if (t.kind == Token::Kind::Keyword && isOpName(t.text)) {
+            // In-place operation: `op dst = src[, src...]`.
+            s.kind = Stmt::Kind::OpInto;
+            s.op = get().text;
+            s.name = expectIdent("a destination register").text;
+            expectPunct("=");
+            s.args = parseOperandList();
+            return s;
+        }
+
+        if (atKeyword("param")) {
+            get();
+            if (!top_level)
+                throw DslError(t.line, t.col,
+                               "param declarations must be at the top "
+                               "level");
+            s.kind = Stmt::Kind::Param;
+            s.name = expectIdent("a param name").text;
+            expectPunct("=");
+            s.e0 = parseExpr();
+            return s;
+        }
+        if (atKeyword("stream")) {
+            get();
+            s.kind = Stmt::Kind::Stream;
+            s.name = expectIdent("a stream name").text;
+            expectPunct("=");
+            s.stream = parseStreamInit();
+            return s;
+        }
+        if (atKeyword("reg")) {
+            get();
+            s.kind = Stmt::Kind::Reg;
+            s.name = expectIdent("a register name").text;
+            expectPunct(":");
+            if (atKeyword("int")) {
+                get();
+                s.regIsFp = false;
+            } else if (atKeyword("fp")) {
+                get();
+                s.regIsFp = true;
+            } else {
+                throw DslError(peek().line, peek().col,
+                               "expected 'int' or 'fp', got '" +
+                                   peek().text + "'");
+            }
+            return s;
+        }
+        if (atKeyword("let")) {
+            get();
+            s.kind = Stmt::Kind::Let;
+            s.name = expectIdent("a value name").text;
+            expectPunct("=");
+            const Token &op = peek();
+            if (op.kind != Token::Kind::Keyword || !isOpName(op.text))
+                throw DslError(op.line, op.col,
+                               "expected an operation after '=', got '" +
+                                   op.text + "'");
+            s.op = get().text;
+            expectPunct("(");
+            s.args = parseOperandList();
+            expectPunct(")");
+            return s;
+        }
+        if (atKeyword("storef") || atKeyword("storei")) {
+            s.kind = Stmt::Kind::Store;
+            s.op = get().text;
+            s.name = expectIdent("a stream name").text;
+            expectPunct(",");
+            s.args.push_back(parseOperand());
+            return s;
+        }
+        if (atKeyword("advance")) {
+            get();
+            s.kind = Stmt::Kind::Advance;
+            s.name = expectIdent("a stream name").text;
+            return s;
+        }
+        if (atKeyword("branch") || atKeyword("branchf")) {
+            s.kind = Stmt::Kind::Branch;
+            s.op = get().text;
+            s.args.push_back(parseOperand());
+            expectKeyword("prob");
+            s.e0 = parseExpr();
+            if (atKeyword("skip")) {
+                get();
+                s.e1 = parseExpr();
+            }
+            return s;
+        }
+        if (atKeyword("loop")) {
+            get();
+            s.kind = Stmt::Kind::Loop;
+            s.e0 = parseExpr();
+            if (atKeyword("as")) {
+                get();
+                s.name = expectIdent("a loop variable").text;
+            }
+            s.body = parseBlock("loop");
+            return s;
+        }
+        if (atKeyword("if")) {
+            get();
+            s.kind = Stmt::Kind::If;
+            s.cond = parseCond();
+            s.body = parseBlock("if");
+            if (atKeyword("else")) {
+                get();
+                s.hasElse = true;
+                s.elseBody = parseBlock("else");
+            }
+            return s;
+        }
+
+        if (t.kind == Token::Kind::Ident)
+            throw DslError(t.line, t.col,
+                           "unknown statement '" + t.text + "'");
+        throw DslError(t.line, t.col,
+                       "expected a statement, got '" + t.text + "'");
+    }
+
+    StreamInit
+    parseStreamInit()
+    {
+        StreamInit init;
+        const Token &t = peek();
+        if (atKeyword("strided")) {
+            get();
+            init.kind = StreamInit::Kind::Strided;
+            expectPunct("(");
+            init.footprint = parseExpr();
+            expectPunct(",");
+            init.stride = parseExpr();
+            if (atPunct(",")) {
+                get();
+                init.elem = parseExpr();
+            }
+            expectPunct(")");
+            if (atKeyword("share")) {
+                get();
+                init.shareWith = expectIdent("a stream name").text;
+            }
+            return init;
+        }
+        if (atKeyword("gather")) {
+            get();
+            init.kind = StreamInit::Kind::Gather;
+            expectPunct("(");
+            init.footprint = parseExpr();
+            if (atPunct(",")) {
+                get();
+                init.elem = parseExpr();
+            }
+            expectPunct(")");
+            expectKeyword("index");
+            init.index = parseOperand();
+            return init;
+        }
+        if (atKeyword("chain")) {
+            get();
+            init.kind = StreamInit::Kind::Chain;
+            expectPunct("(");
+            init.footprint = parseExpr();
+            if (atPunct(",")) {
+                get();
+                init.elem = parseExpr();
+            }
+            expectPunct(")");
+            return init;
+        }
+        throw DslError(t.line, t.col,
+                       "expected 'strided', 'gather' or 'chain', got '" +
+                           t.text + "'");
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+    int blockDepth_ = 0;
+};
+
+} // namespace
+
+Program
+parseProgram(const std::string &text)
+{
+    return Parser(lex(text)).run();
+}
+
+} // namespace mtdae::dsl

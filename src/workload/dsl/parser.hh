@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Recursive-descent parser of the kernel DSL: token stream -> Program
+ * AST. Grammar in docs/KERNEL_DSL.md. All failures throw DslError with
+ * the exact source position; the parser never crashes on malformed
+ * input (fuzzed in tests/test_properties.cc).
+ */
+
+#ifndef MTDAE_WORKLOAD_DSL_PARSER_HH
+#define MTDAE_WORKLOAD_DSL_PARSER_HH
+
+#include <string>
+
+#include "workload/dsl/ast.hh"
+#include "workload/dsl/lexer.hh"
+
+namespace mtdae::dsl {
+
+/**
+ * Parse a kernel program.
+ *
+ * @throws DslError on any lexical or syntactic fault
+ */
+Program parseProgram(const std::string &text);
+
+} // namespace mtdae::dsl
+
+#endif // MTDAE_WORKLOAD_DSL_PARSER_HH

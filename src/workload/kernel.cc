@@ -109,8 +109,18 @@ Kernel::validate() const
         MTDAE_ASSERT(s.elemBytes > 0, name, ": zero element size");
         MTDAE_ASSERT(s.addrReg >= 0 && s.addrReg < numIntRegs,
                      name, ": stream address register out of range");
-        if (s.kind == StreamSpec::Kind::Strided)
+        if (s.kind == StreamSpec::Kind::Strided) {
             MTDAE_ASSERT(s.stride != 0, name, ": zero stride");
+            // A stride beyond the footprint would silently degenerate
+            // to a single cache line: the wrap in
+            // KernelTraceSource::streamAddr subtracts one footprint per
+            // access, so |stride| must fit inside it.
+            const std::uint64_t mag =
+                s.stride >= 0 ? std::uint64_t(s.stride)
+                              : std::uint64_t(-s.stride);
+            MTDAE_ASSERT(mag <= s.footprint, name,
+                         ": stride exceeds the stream footprint");
+        }
     }
 }
 
@@ -186,6 +196,20 @@ KernelBuilder::gather(std::uint64_t footprint, int idx_reg,
     s.addrReg = idx_reg;
     k_.streams.push_back(s);
     return {int(k_.streams.size()) - 1, idx_reg};
+}
+
+KernelBuilder::Stream
+KernelBuilder::chain(std::uint64_t footprint, std::uint32_t elem_bytes)
+{
+    const int addr_reg = intReg();
+    StreamSpec s;
+    s.kind = StreamSpec::Kind::Chain;
+    s.footprint = footprint;
+    s.stride = 0;
+    s.elemBytes = elem_bytes;
+    s.addrReg = addr_reg;
+    k_.streams.push_back(s);
+    return {int(k_.streams.size()) - 1, addr_reg};
 }
 
 void

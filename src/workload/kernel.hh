@@ -32,6 +32,8 @@ struct StreamSpec
     enum class Kind : std::uint8_t {
         Strided,  ///< base + k*stride, wrapping within the footprint.
         Gather,   ///< uniformly random element within the footprint.
+        Chain,    ///< dependent-load walk: a deterministic LCG permutation
+                  ///< of the footprint's elements (pointer chasing).
     };
 
     Kind kind = Kind::Strided;
@@ -126,6 +128,16 @@ class KernelBuilder
      */
     Stream gather(std::uint64_t footprint, int idx_reg,
                   std::uint32_t elem_bytes = 8);
+    /**
+     * Declare a dependent-load (pointer-chase) stream with its own
+     * address register: successive accesses walk a deterministic LCG
+     * permutation of the footprint's elements, so each address is a
+     * function of the previous one — the memory-level-parallelism-free
+     * pattern linked lists and hash buckets exhibit. With a
+     * power-of-two element count the walk is full-period (every element
+     * is visited once per footprint/elemBytes accesses).
+     */
+    Stream chain(std::uint64_t footprint, std::uint32_t elem_bytes = 8);
 
     // --- integer ops ---------------------------------------------------
     /** dst = src0 op src1 into a fresh int register. */

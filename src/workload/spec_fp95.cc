@@ -412,6 +412,34 @@ specFp95Names()
     return names;
 }
 
+std::size_t
+specFp95Index(const std::string &name)
+{
+    const auto &names = specFp95Names();
+    std::size_t idx = 0;
+    while (idx < names.size() && names[idx] != name)
+        ++idx;
+    return idx;
+}
+
+Addr
+workloadRegionBase(ThreadId thread, std::size_t slot)
+{
+    return regionBase(thread, slot);
+}
+
+Addr
+workloadPcBase(std::size_t slot)
+{
+    return pcBase(slot);
+}
+
+std::uint64_t
+workloadSourceSeed(std::uint64_t seed, ThreadId thread, std::size_t slot)
+{
+    return sourceSeed(seed, thread, slot);
+}
+
 Kernel
 buildSpecFp95(const std::string &name)
 {
@@ -432,11 +460,8 @@ std::unique_ptr<KernelTraceSource>
 makeSpecFp95Source(const std::string &name, ThreadId thread,
                    std::uint64_t seed)
 {
-    const auto &names = specFp95Names();
-    std::size_t idx = 0;
-    while (idx < names.size() && names[idx] != name)
-        ++idx;
-    MTDAE_ASSERT(idx < names.size(), "unknown benchmark ", name);
+    const std::size_t idx = specFp95Index(name);
+    MTDAE_ASSERT(idx < specFp95Names().size(), "unknown benchmark ", name);
     return std::make_unique<KernelTraceSource>(
         buildSpecFp95(name), regionBase(thread, idx), pcBase(idx),
         sourceSeed(seed, thread, idx));

@@ -38,6 +38,25 @@ namespace mtdae {
 /** Names of the ten modelled benchmarks, in the paper's Figure 1 order. */
 const std::vector<std::string> &specFp95Names();
 
+/**
+ * Index of @p name in specFp95Names(), or specFp95Names().size() when
+ * @p name is not a modelled benchmark.
+ */
+std::size_t specFp95Index(const std::string &name);
+
+/**
+ * The canonical workload memory layout, shared by every kernel-backed
+ * factory (spec_fp95 and the DSL): disjoint per-(thread, slot) data
+ * regions that alias L1 frames across threads, a per-slot code region,
+ * and a per-(seed, thread, slot) RNG stream. The ten benchmark models
+ * occupy slots 0-9; other workloads must use slots below 63 (the region
+ * encoding keeps slot+1 in 6 bits).
+ */
+Addr workloadRegionBase(ThreadId thread, std::size_t slot);
+Addr workloadPcBase(std::size_t slot);
+std::uint64_t workloadSourceSeed(std::uint64_t seed, ThreadId thread,
+                                 std::size_t slot);
+
 /** Build the kernel model for @p name; fatal() on an unknown name. */
 Kernel buildSpecFp95(const std::string &name);
 

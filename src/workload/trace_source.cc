@@ -74,6 +74,18 @@ KernelTraceSource::streamAddr(int stream_id)
       case StreamSpec::Kind::Gather:
         return streamBase_[stream_id] +
                rng_.uniform(s.footprint / s.elemBytes) * s.elemBytes;
+      case StreamSpec::Kind::Chain: {
+        // Dependent-load walk: the next element index is an LCG of the
+        // current one. a=5, c=17 satisfy Hull-Dobell for power-of-two
+        // moduli, so power-of-two element counts walk a full-period
+        // permutation; the state is just streamOff_, which save() /
+        // restore() already serialize.
+        a = streamBase_[stream_id] + off;
+        const std::uint64_t slots = s.footprint / s.elemBytes;
+        const std::uint64_t idx = off / s.elemBytes;
+        off = ((idx * 5 + 17) % slots) * s.elemBytes;
+        return a;
+      }
     }
     MTDAE_PANIC("bad stream kind");
 }

@@ -25,6 +25,7 @@
 #include "harness/sweep.hh"
 #include "policy/policy.hh"
 #include "test_util.hh"
+#include "workload/dsl/interp.hh"
 
 namespace mtdae {
 namespace {
@@ -67,12 +68,13 @@ backendCfg(bool perfect_l2, PolicyKind fetch, PolicyKind issue)
  * completion reproduces the uninterrupted final state, byte for byte.
  */
 void
-expectRestoreEquivalence(const SimConfig &cfg)
+expectRestoreEquivalence(const SimConfig &cfg,
+                         const Kernel &kernel = streamingKernel())
 {
     const std::uint64_t iters = 150;
 
     // Uninterrupted reference run, counting cycles.
-    Simulator ref = makeSim(cfg, streamingKernel(), iters);
+    Simulator ref = makeSim(cfg, kernel, iters);
     runToCompletion(ref);
     const std::uint64_t last = ref.now();
     const Bytes ref_final = ref.saveSnapshot().toBytes();
@@ -81,14 +83,14 @@ expectRestoreEquivalence(const SimConfig &cfg)
     for (const std::uint64_t cycle :
          {std::uint64_t(0), std::uint64_t(1), last / 2, last}) {
         // Re-run to the checkpoint cycle and snapshot there.
-        Simulator a = makeSim(cfg, streamingKernel(), iters);
+        Simulator a = makeSim(cfg, kernel, iters);
         for (std::uint64_t c = 0; c < cycle; ++c)
             a.step();
         const Snapshot snap = a.saveSnapshot();
 
         // Restore into a fresh simulator: its state must serialize
         // back to the very same bytes...
-        Simulator b = makeSim(cfg, streamingKernel(), iters);
+        Simulator b = makeSim(cfg, kernel, iters);
         b.restoreSnapshot(snap);
         EXPECT_EQ(b.saveSnapshot().toBytes(), snap.toBytes())
             << "save-after-restore drifted at cycle " << cycle;
@@ -412,6 +414,54 @@ TEST(CheckpointGolden, AblateCheckpointWarmAndColdAreByteIdentical)
     ASSERT_EQ(cli(cold, out), 0);
     const std::string w = slurp(warm_dir + "/ablate_checkpoint.csv");
     const std::string c = slurp(cold_dir + "/ablate_checkpoint.csv");
+    ASSERT_FALSE(w.empty());
+    EXPECT_EQ(w, c);
+}
+
+TEST(CheckpointDsl, DslKernelsRestoreByteIdenticallyAtAnyCycle)
+{
+    // DSL-compiled kernels go through the same {0, 1, mid, last}
+    // checkpoint matrix as the built-ins. pointer_chase exercises the
+    // Chain stream's serialized walk offset; hash_join the
+    // self-indexing gather.
+    for (const char *name : {"pointer_chase", "hash_join"}) {
+        const Kernel k = dsl::compileKernel(dsl::readKernelFile(
+            std::string(MTDAE_SOURCE_DIR) + "/examples/kernels/" +
+            name + ".mk"));
+        for (const bool perfect : {true, false})
+            expectRestoreEquivalence(
+                backendCfg(perfect, PolicyKind::Icount,
+                           PolicyKind::RoundRobin),
+                k);
+    }
+}
+
+TEST(CheckpointDsl, AblateDslWarmAndColdAreByteIdentical)
+{
+    // The DSL param grid through the sweep engine: warm-started
+    // parallel execution must emit the same CSV bytes as a cold serial
+    // run.
+    const std::string warm_dir = ::testing::TempDir() + "mtdae_dsl_warm";
+    const std::string cold_dir = ::testing::TempDir() + "mtdae_dsl_cold";
+    const std::vector<std::string> common = {
+        "ablate-dsl",
+        "--kernel-file=" + std::string(MTDAE_SOURCE_DIR) +
+            "/examples/kernels/pointer_chase.mk",
+        "--kernel-param=footprint=64K,256K",
+        "--insts=800",
+        "--warmup-insts=1000",
+        "--threads-list=1,2",
+        "--quiet"};
+    std::vector<std::string> warm = common, cold = common;
+    warm.insert(warm.end(),
+                {"--warm-start=1", "--jobs=8", "--out=" + warm_dir});
+    cold.insert(cold.end(),
+                {"--warm-start=0", "--jobs=1", "--out=" + cold_dir});
+    std::string out;
+    ASSERT_EQ(cli(warm, out), 0);
+    ASSERT_EQ(cli(cold, out), 0);
+    const std::string w = slurp(warm_dir + "/ablate_dsl.csv");
+    const std::string c = slurp(cold_dir + "/ablate_dsl.csv");
     ASSERT_FALSE(w.empty());
     EXPECT_EQ(w, c);
 }

@@ -5,11 +5,15 @@
  * docs/POLICIES.md's policy-reference table and `allPolicies()` must
  * name exactly the same policies — in both directions each — so a new
  * experiment or policy cannot ship undocumented and the docs cannot
- * advertise one that no longer exists.
+ * advertise one that no longer exists. The same regime covers the
+ * kernel DSL: docs/KERNEL_DSL.md's keyword table must equal
+ * dsl::dslKeywords() and its corpus table must equal the actual
+ * examples/kernels/ directory listing, both directions each.
  */
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -17,6 +21,7 @@
 
 #include "common/config.hh"
 #include "harness/cli.hh"
+#include "workload/dsl/lexer.hh"
 
 namespace mtdae {
 namespace {
@@ -192,6 +197,94 @@ TEST(DocDrift, ArchitectureDocTracksTheGatingHooks)
     EXPECT_NE(text.find("shouldFlush"), std::string::npos);
     EXPECT_NE(text.find("`split`"), std::string::npos);
     EXPECT_NE(text.find("ablate-gating"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Kernel-DSL documentation.
+// ---------------------------------------------------------------------
+
+std::string
+dslDocText()
+{
+    return docText("docs/KERNEL_DSL.md");
+}
+
+std::set<std::string>
+corpusKernelFiles()
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(MTDAE_SOURCE_DIR) / "examples" / "kernels";
+    std::set<std::string> names;
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().extension() == ".mk")
+            names.insert(entry.path().stem().string());
+    return names;
+}
+
+TEST(DocDrift, DslDocHasAKeywordTable)
+{
+    EXPECT_FALSE(tableNames(dslDocText(), "### Keywords").empty())
+        << "docs/KERNEL_DSL.md lost its '### Keywords' table";
+}
+
+TEST(DocDrift, EveryDslKeywordIsInTheDocTable)
+{
+    const auto documented = tableNames(dslDocText(), "### Keywords");
+    for (const auto &word : dsl::dslKeywords())
+        EXPECT_TRUE(documented.count(word))
+            << "DSL keyword '" << word << "' (dslKeywords) is missing "
+            << "from docs/KERNEL_DSL.md's keyword table";
+}
+
+TEST(DocDrift, EveryDslDocKeywordRowIsAReservedWord)
+{
+    for (const auto &word : tableNames(dslDocText(), "### Keywords"))
+        EXPECT_TRUE(dsl::isDslKeyword(word))
+            << "docs/KERNEL_DSL.md documents keyword '" << word
+            << "' but the lexer does not reserve it";
+}
+
+TEST(DocDrift, DslDocListsTheWholeKernelCorpus)
+{
+    const auto documented = tableNames(dslDocText(), "## Kernel corpus");
+    for (const auto &name : corpusKernelFiles())
+        EXPECT_TRUE(documented.count(name))
+            << "examples/kernels/" << name << ".mk exists but is "
+            << "missing from docs/KERNEL_DSL.md's corpus table";
+}
+
+TEST(DocDrift, EveryDslDocCorpusRowHasAKernelFile)
+{
+    const auto files = corpusKernelFiles();
+    EXPECT_FALSE(files.empty());
+    for (const auto &name : tableNames(dslDocText(), "## Kernel corpus"))
+        EXPECT_TRUE(files.count(name))
+            << "docs/KERNEL_DSL.md's corpus table lists '" << name
+            << "' but examples/kernels/" << name << ".mk does not exist";
+}
+
+TEST(DocDrift, DslDocCoversTheContracts)
+{
+    // The sections the DSL guide exists to provide: grammar, sweepable
+    // params, the determinism promise, and the worked example.
+    const std::string text = dslDocText();
+    EXPECT_NE(text.find("```ebnf"), std::string::npos);
+    EXPECT_NE(text.find("--kernel-file"), std::string::npos);
+    EXPECT_NE(text.find("--kernel-param"), std::string::npos);
+    EXPECT_NE(text.find("byte-identical"), std::string::npos);
+    EXPECT_NE(text.find("Worked example: pointer chase"), std::string::npos);
+    EXPECT_NE(text.find("chain("), std::string::npos);
+}
+
+TEST(DocDrift, ReadmeDocumentsTheDslSurface)
+{
+    // ablate-dsl itself is locked by the experiment-table tests above;
+    // the flags and the doc pointer must stay findable too.
+    const std::string text = readmeText();
+    EXPECT_NE(text.find("--kernel-file"), std::string::npos);
+    EXPECT_NE(text.find("--kernel-param"), std::string::npos);
+    EXPECT_NE(text.find("docs/KERNEL_DSL.md"), std::string::npos);
+    EXPECT_NE(text.find("examples/kernels"), std::string::npos);
 }
 
 } // namespace

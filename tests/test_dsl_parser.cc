@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Diagnostic tests for the kernel DSL front end: every lexer, parser
+ * and interpreter error path is pinned to its exact message AND its
+ * exact 1-based line:column. These strings are a compatibility
+ * surface — kernel authors script against them — so a change here is a
+ * deliberate interface change, not noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workload/dsl/interp.hh"
+#include "workload/dsl/lexer.hh"
+#include "workload/dsl/parser.hh"
+
+using namespace mtdae;
+
+namespace {
+
+/** Compile @p text and require DslError{line, col, msg} exactly. */
+void
+expectDiag(const std::string &text, int line, int col,
+           const std::string &msg,
+           const dsl::ParamOverrides &overrides = {})
+{
+    try {
+        dsl::compileKernel(text, overrides);
+        ADD_FAILURE() << "compiled without error, wanted: " << msg;
+    } catch (const dsl::DslError &e) {
+        EXPECT_EQ(e.line, line) << e.what();
+        EXPECT_EQ(e.col, col) << e.what();
+        EXPECT_EQ(e.message, msg);
+        // what() carries the same position as a line:col: prefix.
+        EXPECT_EQ(std::string(e.what()), std::to_string(line) + ":" +
+                                             std::to_string(col) + ": " +
+                                             msg);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Lexer diagnostics.
+// ---------------------------------------------------------------------
+
+TEST(DslLexer, BadNumericLiteral)
+{
+    expectDiag("kernel k\nparam x = 4Kb\n", 2, 11,
+               "bad numeric literal '4Kb'");
+}
+
+TEST(DslLexer, UnexpectedCharacter)
+{
+    expectDiag("kernel k\nparam x = 4 @\n", 2, 13,
+               "unexpected character '@'");
+}
+
+TEST(DslLexer, KeywordTableIsSortedAndQueryable)
+{
+    const auto &words = dsl::dslKeywords();
+    ASSERT_FALSE(words.empty());
+    for (std::size_t i = 1; i < words.size(); ++i)
+        EXPECT_LT(words[i - 1], words[i]) << "keyword table unsorted";
+    EXPECT_TRUE(dsl::isDslKeyword("kernel"));
+    EXPECT_TRUE(dsl::isDslKeyword("chain"));
+    EXPECT_FALSE(dsl::isDslKeyword("while"));
+}
+
+// ---------------------------------------------------------------------
+// Parser diagnostics.
+// ---------------------------------------------------------------------
+
+TEST(DslParser, FileMustStartWithKernel)
+{
+    expectDiag("param x = 1\n", 1, 1,
+               "expected 'kernel' at the start of the file");
+}
+
+TEST(DslParser, KernelNameMustBeAnIdentifier)
+{
+    expectDiag("kernel 5\n", 1, 8, "expected a kernel name, got '5'");
+}
+
+TEST(DslParser, UnknownStatement)
+{
+    expectDiag("kernel k\nfrobnicate\n", 2, 1,
+               "unknown statement 'frobnicate'");
+}
+
+TEST(DslParser, NonIdentifierStatement)
+{
+    expectDiag("kernel k\n= 4\n", 2, 1, "expected a statement, got '='");
+}
+
+TEST(DslParser, UnterminatedLoopBody)
+{
+    // The diagnostic points at the opening brace, not at EOF.
+    expectDiag("kernel k\nreg x : int\nloop 2 {\niadd x = x\n", 3, 8,
+               "unterminated loop body (missing '}')");
+}
+
+TEST(DslParser, UnterminatedIfBody)
+{
+    expectDiag("kernel k\nif 1 {\n", 2, 6,
+               "unterminated if body (missing '}')");
+}
+
+TEST(DslParser, UnterminatedElseBody)
+{
+    expectDiag("kernel k\nif 1 {\n} else {\n", 3, 8,
+               "unterminated else body (missing '}')");
+}
+
+TEST(DslParser, ParamMustBeTopLevel)
+{
+    expectDiag("kernel k\nloop 2 {\nparam x = 1\n}\n", 3, 1,
+               "param declarations must be at the top level");
+}
+
+TEST(DslParser, RegClassMustBeIntOrFp)
+{
+    expectDiag("kernel k\nreg x : float\n", 2, 9,
+               "expected 'int' or 'fp', got 'float'");
+}
+
+TEST(DslParser, MissingColonInRegDeclaration)
+{
+    expectDiag("kernel k\nreg x int\n", 2, 7, "expected ':', got 'int'");
+}
+
+TEST(DslParser, LetRequiresAnOperation)
+{
+    expectDiag("kernel k\nlet x = y\n", 2, 9,
+               "expected an operation after '=', got 'y'");
+}
+
+TEST(DslParser, StreamInitMustBeAKnownForm)
+{
+    expectDiag("kernel k\nstream s = foo(4)\n", 2, 12,
+               "expected 'strided', 'gather' or 'chain', got 'foo'");
+}
+
+TEST(DslParser, ExpressionNeedsAFactor)
+{
+    expectDiag("kernel k\nparam x = *\n", 2, 11,
+               "expected a number, a name or '(', got '*'");
+}
+
+TEST(DslParser, AdvanceNeedsAStreamName)
+{
+    expectDiag("kernel k\nadvance 5\n", 2, 9,
+               "expected a stream name, got '5'");
+}
+
+TEST(DslParser, ExpressionDepthIsBounded)
+{
+    std::string text = "kernel k\nparam x = ";
+    for (int i = 0; i < 70; ++i)
+        text += "(";
+    text += "1";
+    for (int i = 0; i < 70; ++i)
+        text += ")";
+    // Each paren level costs three recursion frames; the guard trips
+    // while peeking at the 22nd '(' (column 10 + 22).
+    expectDiag(text + "\n", 2, 32, "expression nested too deeply");
+}
+
+TEST(DslParser, BlockDepthIsBounded)
+{
+    std::string text = "kernel k\n";
+    for (int i = 0; i < 40; ++i)
+        text += "loop 1 {\n";
+    for (int i = 0; i < 40; ++i)
+        text += "}\n";
+    // The 33rd nested `loop` hits the block-depth cap at its brace
+    // (line 1 header + 32 accepted opens put it on line 34, column 8).
+    expectDiag(text, 34, 8, "blocks nested too deeply");
+}
+
+// ---------------------------------------------------------------------
+// Interpreter diagnostics: names and types.
+// ---------------------------------------------------------------------
+
+TEST(DslInterp, UnknownIdentifierInExpression)
+{
+    expectDiag("kernel k\nparam x = y\n", 2, 11,
+               "unknown identifier 'y'");
+}
+
+TEST(DslInterp, StreamIsNotANumber)
+{
+    expectDiag("kernel k\nstream s = strided(4K, 8)\nparam x = s\n", 3,
+               11, "type mismatch: 's' is a stream, expected a number");
+}
+
+TEST(DslInterp, DuplicateParam)
+{
+    expectDiag("kernel k\nparam x = 1\nparam x = 2\n", 3, 1,
+               "duplicate param 'x'");
+}
+
+TEST(DslInterp, DuplicateIdentifier)
+{
+    expectDiag("kernel k\nreg x : int\nreg x : fp\n", 3, 1,
+               "duplicate identifier 'x'");
+}
+
+TEST(DslInterp, LoadNeedsAStream)
+{
+    expectDiag("kernel k\nreg x : int\nlet v = loadf(x)\n", 3, 15,
+               "type mismatch: 'x' is an int register, expected a "
+               "stream");
+}
+
+TEST(DslInterp, StoreNeedsAStream)
+{
+    expectDiag("kernel k\nreg a : fp\nstoref a, a\n", 3, 1,
+               "type mismatch: 'a' is an fp register, expected a "
+               "stream");
+}
+
+TEST(DslInterp, IntOpRejectsFpOperand)
+{
+    expectDiag("kernel k\nreg a : fp\nlet v = iadd(a)\n", 3, 14,
+               "type mismatch: 'a' is an fp register, expected an int "
+               "register");
+}
+
+TEST(DslInterp, WrongOperandCount)
+{
+    expectDiag("kernel k\nreg a : fp\nlet v = fadd(a)\n", 3, 1,
+               "'fadd' takes 2 operands");
+}
+
+TEST(DslInterp, FmaTakesThreeOperands)
+{
+    expectDiag("kernel k\nreg a : fp\nlet v = fma(a, a)\n", 3, 1,
+               "'fma' takes 3 operands");
+}
+
+TEST(DslInterp, IntOpsTakeOneOrTwoOperands)
+{
+    expectDiag("kernel k\nreg i : int\nlet v = iadd(i, i, i)\n", 3, 1,
+               "'iadd' takes 1 or 2 operands");
+}
+
+TEST(DslInterp, MovifHasNoInPlaceForm)
+{
+    expectDiag("kernel k\nreg a : fp\nreg i : int\nmovif a = i\n", 4, 1,
+               "'movif' has no in-place form");
+}
+
+TEST(DslInterp, DivisionByZero)
+{
+    expectDiag("kernel k\nparam x = 1 / 0\n", 2, 13, "division by zero");
+}
+
+TEST(DslInterp, ModuloByZero)
+{
+    expectDiag("kernel k\nparam x = 1 % 0\n", 2, 13, "modulo by zero");
+}
+
+// ---------------------------------------------------------------------
+// Interpreter diagnostics: ranges and budgets.
+// ---------------------------------------------------------------------
+
+TEST(DslInterp, FootprintOutOfRange)
+{
+    expectDiag("kernel k\nstream s = strided(4G, 8)\n", 2, 20,
+               "stream footprint must be a whole number between 1 and "
+               "1073741824, got 4294967296");
+}
+
+TEST(DslInterp, FootprintMustBeWhole)
+{
+    expectDiag("kernel k\nstream s = strided(4.5, 8)\n", 2, 20,
+               "stream footprint must be a whole number between 1 and "
+               "1073741824, got 4.5");
+}
+
+TEST(DslInterp, StrideExceedsFootprint)
+{
+    expectDiag("kernel k\nstream s = strided(4K, 8K)\n", 2, 24,
+               "stride exceeds the stream footprint");
+}
+
+TEST(DslInterp, ZeroStride)
+{
+    expectDiag("kernel k\nstream s = strided(4K, 0)\n", 2, 24,
+               "zero stride");
+}
+
+TEST(DslInterp, ElementSizeOutOfRange)
+{
+    expectDiag("kernel k\nstream s = strided(4K, 8, 9000)\n", 2, 27,
+               "element size must be a whole number between 1 and "
+               "4096, got 9000");
+}
+
+TEST(DslInterp, FootprintSmallerThanElement)
+{
+    expectDiag("kernel k\nstream s = chain(8, 16)\n", 2, 1,
+               "stream footprint smaller than an element");
+}
+
+TEST(DslInterp, BranchProbabilityRange)
+{
+    expectDiag("kernel k\nreg c : int\nbranch c prob 1.5\n", 3, 15,
+               "branch probability must be between 0 and 1, got 1.5");
+}
+
+TEST(DslInterp, BranchSkipRange)
+{
+    expectDiag("kernel k\nreg c : int\nbranch c prob 0.5 skip 300\n", 3,
+               24,
+               "branch skip must be a whole number between 0 and 255, "
+               "got 300");
+}
+
+TEST(DslInterp, BranchSkipPastBackEdge)
+{
+    expectDiag("kernel k\nreg c : int\nicmp c = c\nbranch c prob 0.5 "
+               "skip 9\n",
+               4, 1, "branch skip runs past the loop back-edge");
+}
+
+TEST(DslInterp, LoopCountRange)
+{
+    expectDiag("kernel k\nloop 100000 { }\n", 2, 6,
+               "loop count must be a whole number between 0 and 65536, "
+               "got 100000");
+}
+
+TEST(DslInterp, IntRegisterBudget)
+{
+    expectDiag("kernel k\nloop 40 {\nreg r : int\n}\n", 3, 1,
+               "too many int registers (the machine has 32)");
+}
+
+TEST(DslInterp, FpRegisterBudget)
+{
+    expectDiag("kernel k\nloop 40 { reg r : fp }\n", 2, 11,
+               "too many fp registers (the machine has 32)");
+}
+
+TEST(DslInterp, BodyOpBudget)
+{
+    expectDiag("kernel k\nreg r : int\nloop 65536 { iadd r = r }\n", 3,
+               14, "kernel body exceeds 4096 operations");
+}
+
+TEST(DslInterp, UnknownParamOverride)
+{
+    expectDiag("kernel k\nparam x = 1\nreg r : int\niadd r = r\n", 0, 0,
+               "unknown param 'nope' (the kernel does not declare it)",
+               {{"nope", 3}});
+}
+
+// ---------------------------------------------------------------------
+// Scoping rules that must NOT error.
+// ---------------------------------------------------------------------
+
+TEST(DslInterp, LoopIterationsGetFreshScopes)
+{
+    // Redeclaring a name across iterations is legal (each iteration is
+    // a new scope); the registers are distinct.
+    const Kernel k = dsl::compileKernel(
+        "kernel k\nloop 3 {\nreg r : int\niadd r = r\n}\n");
+    EXPECT_EQ(k.numIntRegs, 4);  // loop counter + one per iteration
+}
+
+TEST(DslInterp, ShadowingAnOuterNameIsAnError)
+{
+    // Shadowing is rejected outright — an inner `reg r` while an outer
+    // `r` is live would silently change which register later
+    // statements touch.
+    expectDiag("kernel k\nreg r : fp\nloop 2 {\nreg r : int\n}\n", 4, 1,
+               "duplicate identifier 'r'");
+}
+
+TEST(DslInterp, SiblingScopesMayReuseNames)
+{
+    // Once a loop body's scope is popped, its names are free again.
+    const Kernel k = dsl::compileKernel("kernel k\n"
+                                        "loop 2 {\n"
+                                        "reg r : int\n"
+                                        "iadd r = r\n"
+                                        "}\n"
+                                        "reg r : fp\n"
+                                        "fmov r = r\n");
+    EXPECT_EQ(k.numFpRegs, 1);
+    EXPECT_EQ(k.numIntRegs, 3);
+}
+
+TEST(DslInterp, LoopIndexIsANumber)
+{
+    const Kernel k = dsl::compileKernel(
+        "kernel k\nreg r : int\nloop 4 as i {\nif i % 2 == 0 {\niadd r "
+        "= r\n}\n}\n");
+    // Iterations 0 and 2 emit; 1 and 3 do not (plus update + backedge).
+    EXPECT_EQ(k.ops.size(), 4u);
+}
+
+TEST(DslInterp, ReadingTheKernelFileFailsCleanly)
+{
+    try {
+        dsl::readKernelFile("/nonexistent/kernel.mk");
+        ADD_FAILURE() << "expected DslError";
+    } catch (const dsl::DslError &e) {
+        EXPECT_EQ(e.line, 0);
+        EXPECT_EQ(e.message,
+                  "cannot read kernel file '/nonexistent/kernel.mk'");
+    }
+}

@@ -119,6 +119,51 @@ TEST(KernelDeath, RejectsSkipPastEnd)
     EXPECT_DEATH(b.build("skip"), "skip");
 }
 
+TEST(KernelDeath, RejectsStrideBeyondFootprint)
+{
+    // A stride longer than the footprint would silently wrap to an
+    // alias of a smaller region; validate() rejects it outright.
+    KernelBuilder b;
+    auto s = b.strided(1 << 12, 8);
+    const int x = b.ldi(s);
+    b.iopInto(Opcode::IAdd, x, x);
+    Kernel k = b.build("wide");
+    k.streams[0].stride = (1 << 12) + 8;
+    EXPECT_DEATH(k.validate(), "stride exceeds the stream footprint");
+    k.streams[0].stride = -((1 << 12) + 8);
+    EXPECT_DEATH(k.validate(), "stride exceeds the stream footprint");
+}
+
+TEST(KernelBuilder, StrideUpToFootprintIsValid)
+{
+    // Both boundary sides: |stride| == footprint is the largest legal
+    // magnitude, in either direction.
+    for (const std::int64_t stride : {std::int64_t(1) << 12,
+                                      -(std::int64_t(1) << 12)}) {
+        KernelBuilder b;
+        auto s = b.strided(1 << 12, stride);
+        const int x = b.ldi(s);
+        b.iopInto(Opcode::IAdd, x, x);
+        const Kernel k = b.build("edge");
+        EXPECT_NO_FATAL_FAILURE(k.validate());
+        EXPECT_EQ(k.streams[0].stride, stride);
+    }
+}
+
+TEST(KernelBuilder, ChainStreamsOwnTheirAddressRegister)
+{
+    KernelBuilder b;
+    auto c = b.chain(1 << 16, 16);
+    const int v = b.ldi(c);
+    b.iopInto(Opcode::ILogic, v, v);
+    b.advance(c);
+    const Kernel k = b.build("chase");
+    EXPECT_EQ(k.streams[c.id].kind, StreamSpec::Kind::Chain);
+    EXPECT_EQ(k.streams[c.id].elemBytes, 16u);
+    EXPECT_GE(c.addrReg, 0);
+    EXPECT_NO_FATAL_FAILURE(k.validate());
+}
+
 TEST(KernelDeath, RejectsZeroStride)
 {
     KernelBuilder b;

@@ -5,6 +5,8 @@
  * conservation and accounting invariants intact.
  */
 
+#include <fstream>
+#include <sstream>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -12,6 +14,10 @@
 #include "common/rng.hh"
 #include "core/snapshot.hh"
 #include "tests/test_util.hh"
+#include "workload/dsl/ast.hh"
+#include "workload/dsl/interp.hh"
+#include "workload/dsl/lexer.hh"
+#include "workload/dsl/parser.hh"
 
 using namespace mtdae;
 using namespace mtdae::test;
@@ -315,3 +321,163 @@ TEST_P(SnapshotCacheFuzzTest, CachedThreadStatesMatchRecomputation)
 INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotCacheFuzzTest,
                          ::testing::Range(std::uint64_t(1),
                                           std::uint64_t(21)));
+
+// ---------------------------------------------------------------------
+// DSL front-end fuzzing: no text input may crash the compiler, and any
+// program that parses must round-trip through the canonical printer.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Vocabulary-driven token soup: plausible enough to reach deep paths. */
+std::string
+tokenSoup(Rng &rng)
+{
+    static const char *const extras[] = {
+        "=", ",", "(", ")", "{", "}", ":", "+", "-", "*", "/", "%",
+        "<", ">", "==", "!=", "<=", ">=",
+        "a", "b", "s1", "x", "k", "foo",
+        "0", "1", "4", "8", "24", "0.5", "4K", "2M", "1G", "65536",
+        "\n",
+    };
+    const auto &words = dsl::dslKeywords();
+    std::string text;
+    if (rng.bernoulli(0.7))
+        text += "kernel k\n";
+    const int n = 3 + int(rng.uniform(60));
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.45))
+            text += words[rng.uniform(words.size())];
+        else
+            text += extras[rng.uniform(std::size(extras))];
+        text += rng.bernoulli(0.2) ? "\n" : " ";
+    }
+    return text;
+}
+
+/** Raw printable-character soup: exercises the lexer error paths. */
+std::string
+charSoup(Rng &rng)
+{
+    std::string text;
+    const int n = int(rng.uniform(120));
+    for (int i = 0; i < n; ++i)
+        text += char(32 + rng.uniform(95));
+    return text;
+}
+
+/**
+ * Compile arbitrary text: the only acceptable outcomes are a valid
+ * kernel or a positioned DslError. Returns true when it compiled.
+ */
+bool
+compilesCleanly(const std::string &text)
+{
+    try {
+        const Kernel k = dsl::compileKernel(text);
+        k.validate();  // a compiled kernel must also be valid
+        return true;
+    } catch (const dsl::DslError &e) {
+        EXPECT_GE(e.line, 0);
+        EXPECT_GE(e.col, 0);
+        EXPECT_FALSE(e.message.empty());
+        return false;
+    }
+}
+
+/**
+ * Any program that parses must survive print -> parse -> print with a
+ * byte-identical canonical form (structural equality of the ASTs).
+ */
+void
+expectRoundTrip(const std::string &text)
+{
+    dsl::Program p1;
+    try {
+        p1 = dsl::parseProgram(text);
+    } catch (const dsl::DslError &) {
+        return;  // didn't parse: nothing to round-trip
+    }
+    const std::string s1 = dsl::printProgram(p1);
+    dsl::Program p2;
+    try {
+        p2 = dsl::parseProgram(s1);
+    } catch (const dsl::DslError &e) {
+        FAIL() << "canonical print does not reparse: " << e.what()
+               << "\n" << s1;
+    }
+    EXPECT_EQ(s1, dsl::printProgram(p2)) << "for input:\n" << text;
+}
+
+} // namespace
+
+class DslFuzzTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DslFuzzTest, TokenSoupNeverCrashes)
+{
+    Rng rng(deriveSeed(0x64736c66, GetParam()));
+    for (int i = 0; i < 200; ++i) {
+        const std::string text = tokenSoup(rng);
+        compilesCleanly(text);
+        expectRoundTrip(text);
+    }
+}
+
+TEST_P(DslFuzzTest, CharSoupNeverCrashes)
+{
+    Rng rng(deriveSeed(0x64736c63, GetParam()));
+    for (int i = 0; i < 200; ++i)
+        compilesCleanly(charSoup(rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DslFuzzTest,
+                         ::testing::Range(std::uint64_t(1),
+                                          std::uint64_t(21)));
+
+TEST(DslRoundTrip, CorpusKernelsReachAFixedPoint)
+{
+    const char *names[] = {"tomcatv", "swim",  "su2cor",  "hydro2d",
+                           "mgrid",   "applu", "turb3d",  "apsi",
+                           "fpppp",   "wave5", "pointer_chase",
+                           "hash_join", "stencil"};
+    for (const char *name : names) {
+        const std::string path = std::string(MTDAE_SOURCE_DIR) +
+                                 "/examples/kernels/" + name + ".mk";
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in.good()) << path;
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        expectRoundTrip(ss.str());
+    }
+}
+
+TEST(DslRoundTrip, CanonicalFormCompilesIdentically)
+{
+    // Printing and reparsing must not change the compiled kernel: the
+    // printer is a faithful, normalising serialisation.
+    const std::string text = std::string("kernel rt\n") +
+                             "param n = 3\n" +
+                             "stream s = strided(64K, 8)\n" +
+                             "reg acc : fp\n" +
+                             "loop n as i {\n" +
+                             "if i % 2 == 0 {\n" +
+                             "let v = loadf(s)\n" +
+                             "fadd acc = acc, v\n" +
+                             "} else {\n" +
+                             "advance s\n" +
+                             "}\n" +
+                             "}\n";
+    const Kernel direct = dsl::compileKernel(text);
+    const std::string canon =
+        dsl::printProgram(dsl::parseProgram(text));
+    const Kernel reparsed = dsl::compileKernel(canon);
+    ASSERT_EQ(direct.ops.size(), reparsed.ops.size());
+    for (std::size_t i = 0; i < direct.ops.size(); ++i) {
+        EXPECT_EQ(direct.ops[i].op, reparsed.ops[i].op) << i;
+        EXPECT_EQ(direct.ops[i].dst, reparsed.ops[i].dst) << i;
+    }
+    EXPECT_EQ(direct.numIntRegs, reparsed.numIntRegs);
+    EXPECT_EQ(direct.numFpRegs, reparsed.numFpRegs);
+}

@@ -271,3 +271,58 @@ TEST(SweepCli, ParallelJsonOutputIsByteIdenticalToSerial)
     EXPECT_FALSE(serial.empty());
     EXPECT_EQ(serial, parallel);
 }
+
+TEST(SweepCli, AblateDslParallelIsByteIdenticalToSerial)
+{
+    // The DSL param grid is a first-class sweep axis: per-job seeds are
+    // derived from the grid index, so the worker count cannot leak into
+    // the results.
+    const std::vector<std::string> base = {
+        "ablate-dsl",
+        "--kernel-file=" + std::string(MTDAE_SOURCE_DIR) +
+            "/examples/kernels/hash_join.mk",
+        "--kernel-param=build_bytes=64K,1M",
+        "--kernel-param=hit_prob=0.5,0.9",
+        "--threads-list=1,2",
+        "--insts=800",
+        "--warmup=300",
+        "--quiet",
+        "--json"};
+    auto run_with = [&](const std::string &jobs) {
+        std::vector<std::string> args = base;
+        args.push_back(jobs);
+        std::ostringstream out, err;
+        EXPECT_EQ(cli::runCli(args, out, err), 0) << err.str();
+        return out.str();
+    };
+    const std::string serial = run_with("--jobs=1");
+    const std::string parallel = run_with("--jobs=8");
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    // All 2x2x2 grid points are present: each param axis is a column.
+    EXPECT_NE(serial.find("\"kernel\": \"hash_join\", \"build_bytes\": "
+                          "65536, \"hit_prob\": 0.5, \"threads\": 1"),
+              std::string::npos);
+    EXPECT_NE(serial.find("\"kernel\": \"hash_join\", \"build_bytes\": "
+                          "1048576, \"hit_prob\": 0.9, \"threads\": 2"),
+              std::string::npos);
+}
+
+TEST(SweepSpec, DslPrefixKeysFoldTheKernelParams)
+{
+    const std::string text =
+        dsl::readKernelFile(std::string(MTDAE_SOURCE_DIR) +
+                            "/examples/kernels/pointer_chase.mk");
+    SweepSpec spec;
+    const SimConfig cfg = tinyCfg(1, 16);
+    // Same kernel+params on one seed stream: shared warmup prefix even
+    // with different measure budgets. Overridden params break the
+    // group.
+    spec.addDsl(cfg, text, {}, 1000, "a", 5);
+    spec.addDsl(cfg, text, {}, 2000, "b", 5);
+    spec.addDsl(cfg, text, {{"footprint", 64 * 1024}}, 1000, "c", 5);
+    const auto &jobs = spec.jobs();
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_EQ(jobs[0].prefixKey(), jobs[1].prefixKey());
+    EXPECT_NE(jobs[0].prefixKey(), jobs[2].prefixKey());
+}
