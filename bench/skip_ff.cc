@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Idle fast-forward benchmark: wall-time and simulated
+ * instructions/second of a fig4-shaped grid (threads x decoupled x L2
+ * latency, suite-mix plus a pointer-chase DSL kernel) with the
+ * cycle-skip engine off vs. on, each timed cold (every job simulates
+ * its own warmup) and warm (shared warmup checkpoints). The binary
+ * self-verifies that skip-on results are identical to skip-off results
+ * point by point — the speedup is free or it does not count.
+ *
+ * The grid deliberately mixes both regimes: decoupled suite-mix
+ * machines rarely go idle (the access processor keeps the memory
+ * system busy — the paper's point), while the non-decoupled baselines
+ * and the dependent-load pointer chase stall for whole latency spans
+ * the skip engine can jump.
+ *
+ * Output contract (consumed by scripts/bench_skip.sh):
+ *   SKIP lat=<n> off_cold_ips=<n> on_cold_ips=<n> off_warm_ips=<n>
+ *        on_warm_ips=<n> speedup=<x> skip_rate=<r>
+ *   SKIPTOTAL off_cold_ips=<n> on_cold_ips=<n> speedup=<x>
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mtdae;
+
+namespace {
+
+/**
+ * The dependent-load kernel, inlined so the binary stays flag-less and
+ * runnable from any directory: every hop loads the next address, so
+ * the whole perceived latency sits on the critical path and the
+ * decoupled machine idles between fills (examples/kernels/
+ * pointer_chase.mk is the documented original).
+ */
+const char *const kChaseKernel = R"(
+kernel bench_chase
+
+param footprint = 1M
+param node = 16
+param unroll = 4
+
+stream nodes = chain(footprint, node)
+reg sum : fp
+
+loop unroll {
+    let p = loadi(nodes)
+    ilogic p = p
+    let v = loadf(nodes)
+    fadd sum = sum, v
+    advance nodes
+}
+)";
+
+/**
+ * The fig4-shaped grid at one latency. Explicit seed streams keep the
+ * skip-off and skip-on specs on identical per-job seeds, and the
+ * {1,2}-multiplier pairs share a warmup prefix (the warm mode's
+ * checkpoint fan-out), exactly as in bench/hot_loop.
+ */
+SweepSpec
+makeSpec(std::uint32_t lat, std::uint64_t insts, bool skip)
+{
+    const std::vector<std::uint32_t> threads = {1, 2, 4};
+    const std::vector<std::uint64_t> mults = {1, 2};
+
+    SweepSpec spec;
+    std::uint64_t stream = 0;
+    for (const std::uint32_t n : threads) {
+        for (const bool dec : {true, false}) {
+            SimConfig cfg = paperConfigSeeded(n, dec, lat);
+            cfg.warmupInsts = 4000 * n;
+            cfg.cycleSkip = skip;
+            for (const std::uint64_t m : mults)
+                spec.addSuiteMix(cfg, insts * n * m,
+                                 std::to_string(n) + "T " +
+                                     (dec ? "dec" : "non-dec") + " L2=" +
+                                     std::to_string(lat) + " x" +
+                                     std::to_string(m),
+                                 stream);
+            ++stream;
+        }
+        SimConfig cfg = paperConfigSeeded(n, true, lat);
+        cfg.warmupInsts = 4000 * n;
+        cfg.cycleSkip = skip;
+        for (const std::uint64_t m : mults)
+            spec.addDsl(cfg, kChaseKernel, {}, insts * n * m,
+                        std::to_string(n) + "T chase L2=" +
+                            std::to_string(lat) + " x" +
+                            std::to_string(m),
+                        stream);
+        ++stream;
+    }
+    return spec;
+}
+
+double
+millis(std::chrono::steady_clock::time_point a,
+       std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+bool
+sameResult(const RunResult &a, const RunResult &b)
+{
+    // cyclesSkipped/skipEvents and the wall-clock profile fields are
+    // deliberately excluded: only the simulated results are part of
+    // the byte-identity contract.
+    return a.cycles == b.cycles && a.insts == b.insts && a.ipc == b.ipc &&
+           a.perceivedFp == b.perceivedFp &&
+           a.perceivedInt == b.perceivedInt &&
+           a.perceivedAll == b.perceivedAll && a.fpMisses == b.fpMisses &&
+           a.intMisses == b.intMisses &&
+           a.loadMissRatio == b.loadMissRatio &&
+           a.storeMissRatio == b.storeMissRatio &&
+           a.missRatio == b.missRatio && a.mergedRatio == b.mergedRatio &&
+           a.busUtilization == b.busUtilization &&
+           a.avgFillLatency == b.avgFillLatency &&
+           a.ap.counts == b.ap.counts && a.ep.counts == b.ep.counts &&
+           a.mispredictRate == b.mispredictRate;
+}
+
+struct LatPoint {
+    std::uint32_t lat = 0;
+    double off_cold_ips = 0, on_cold_ips = 0;
+    double off_warm_ips = 0, on_warm_ips = 0;
+    double skip_rate = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t insts = instsBudget(10000);
+    const std::vector<std::uint32_t> lats = {10, 100, 500};
+
+    TextTable t;
+    t.addRow({"L2 lat", "off Minsts/s", "on Minsts/s", "speedup",
+              "skip rate"});
+    std::vector<std::vector<std::string>> csv;
+    csv.push_back({"l2_latency", "off_cold_ips", "on_cold_ips",
+                   "off_warm_ips", "on_warm_ips", "speedup",
+                   "skip_rate"});
+
+    double total_off_ms = 0, total_on_ms = 0;
+    std::uint64_t total_insts = 0;
+
+    for (const std::uint32_t lat : lats) {
+        const SweepSpec off_spec = makeSpec(lat, insts, false);
+        const SweepSpec on_spec = makeSpec(lat, insts, true);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto off_cold = JobRunner(envJobs(), false).run(off_spec);
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto on_cold = JobRunner(envJobs(), false).run(on_spec);
+        const auto t2 = std::chrono::steady_clock::now();
+        const auto off_warm = JobRunner(envJobs(), true).run(off_spec);
+        const auto t3 = std::chrono::steady_clock::now();
+        const auto on_warm = JobRunner(envJobs(), true).run(on_spec);
+        const auto t4 = std::chrono::steady_clock::now();
+
+        std::uint64_t lat_insts = 0, cycles = 0, skipped = 0;
+        for (std::size_t i = 0; i < off_cold.size(); ++i) {
+            if (!sameResult(off_cold[i], on_cold[i]) ||
+                !sameResult(off_cold[i], off_warm[i]) ||
+                !sameResult(off_cold[i], on_warm[i])) {
+                std::cerr << "FAIL: job '" << off_spec.jobs()[i].label
+                          << "' diverged across skip/warm modes\n";
+                return 1;
+            }
+            lat_insts += off_cold[i].insts;
+            cycles += on_cold[i].cycles;
+            skipped += on_cold[i].cyclesSkipped;
+        }
+
+        LatPoint p;
+        p.lat = lat;
+        const auto ips = [&](double ms) {
+            return ms > 0.0 ? double(lat_insts) / (ms / 1e3) : 0.0;
+        };
+        p.off_cold_ips = ips(millis(t0, t1));
+        p.on_cold_ips = ips(millis(t1, t2));
+        p.off_warm_ips = ips(millis(t2, t3));
+        p.on_warm_ips = ips(millis(t3, t4));
+        p.skip_rate = cycles ? double(skipped) / double(cycles) : 0.0;
+        total_off_ms += millis(t0, t1);
+        total_on_ms += millis(t1, t2);
+        total_insts += lat_insts;
+
+        const double speedup =
+            p.off_cold_ips > 0.0 ? p.on_cold_ips / p.off_cold_ips : 0.0;
+        t.addRow({std::to_string(lat),
+                  TextTable::fmt(p.off_cold_ips / 1e6, 2),
+                  TextTable::fmt(p.on_cold_ips / 1e6, 2),
+                  TextTable::fmt(speedup, 2),
+                  TextTable::fmt(p.skip_rate, 3)});
+        csv.push_back({std::to_string(lat),
+                       TextTable::fmt(p.off_cold_ips, 0),
+                       TextTable::fmt(p.on_cold_ips, 0),
+                       TextTable::fmt(p.off_warm_ips, 0),
+                       TextTable::fmt(p.on_warm_ips, 0),
+                       TextTable::fmt(speedup, 3),
+                       TextTable::fmt(p.skip_rate, 4)});
+        std::printf("SKIP lat=%u off_cold_ips=%.0f on_cold_ips=%.0f "
+                    "off_warm_ips=%.0f on_warm_ips=%.0f speedup=%.3f "
+                    "skip_rate=%.4f\n",
+                    lat, p.off_cold_ips, p.on_cold_ips, p.off_warm_ips,
+                    p.on_warm_ips, speedup, p.skip_rate);
+    }
+
+    const double total_off_ips =
+        total_off_ms > 0.0 ? double(total_insts) / (total_off_ms / 1e3)
+                           : 0.0;
+    const double total_on_ips =
+        total_on_ms > 0.0 ? double(total_insts) / (total_on_ms / 1e3)
+                          : 0.0;
+    std::printf("SKIPTOTAL off_cold_ips=%.0f on_cold_ips=%.0f "
+                "speedup=%.3f\n",
+                total_off_ips, total_on_ips,
+                total_off_ips > 0.0 ? total_on_ips / total_off_ips : 0.0);
+
+    emitTable("Idle fast-forward: fig4-shaped grid, cycle-skip off vs "
+              "on (results verified identical)",
+              t, csv, "skip_ff.csv");
+    return 0;
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env sh
+# Benchmark the idle fast-forward engine: run bench/skip_ff (a
+# fig4-shaped sweep timed with cycle-skip off and on, cold and
+# warm-started, self-verifying that every mode produces identical
+# simulated results), capture the per-latency throughput and skip
+# rates, then emit BENCH_skip.json.
+#
+# The JSON also records the committed per-runner-class baseline
+# (scripts/skip_baseline.json): committed_on_cold_ips is the skip-on
+# cold throughput measured on that class at the commit that landed the
+# engine. With MTDAE_PERF_SMOKE=1 the script exits non-zero when the
+# measured skip-on cold throughput drops more than 30% below the
+# committed baseline — the same gate bench_hotloop.sh applies to the
+# stepping loop, extended to the skip-on configuration.
+#
+# Usage: scripts/bench_skip.sh [build-dir]   (default: build)
+#
+# Environment:
+#   MTDAE_JOBS          sweep worker count        (default: 1)
+#   BENCH_OUT           output JSON path          (default: BENCH_skip.json)
+#   MTDAE_RUNNER_CLASS  baseline key              (default: local-dev)
+#   MTDAE_PERF_SMOKE    1 = fail on >30% regression vs. the committed
+#                       baseline (default: 0, report only)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/skip_ff"
+OUT="${BENCH_OUT:-BENCH_skip.json}"
+CLASS="${MTDAE_RUNNER_CLASS:-local-dev}"
+SMOKE="${MTDAE_PERF_SMOKE:-0}"
+BASELINE="scripts/skip_baseline.json"
+
+[ -x "$BIN" ] || { echo "error: $BIN not built" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# One worker by default: this is a single-core wall-time measurement;
+# parallel workers only add scheduler noise to the timing.
+echo "running $BIN (MTDAE_JOBS=${MTDAE_JOBS:-1})..." >&2
+MTDAE_JOBS="${MTDAE_JOBS:-1}" "$BIN" > "$TMP/skip.txt"
+sed -n '/^==/,$p' "$TMP/skip.txt" >&2
+
+grep -q '^SKIP ' "$TMP/skip.txt" || {
+    echo "error: no SKIP lines in output" >&2; exit 1; }
+TOTAL=$(grep '^SKIPTOTAL ' "$TMP/skip.txt")
+[ -n "$TOTAL" ] || { echo "error: no SKIPTOTAL line in output" >&2; exit 1; }
+tfield() { printf '%s\n' "$TOTAL" | sed -n "s/.*$1=\([0-9.]*\).*/\1/p"; }
+TOTAL_OFF=$(tfield off_cold_ips)
+TOTAL_ON=$(tfield on_cold_ips)
+TOTAL_SPEEDUP=$(tfield speedup)
+
+# Per-latency points as a JSON object keyed by the L2 latency.
+LATS=$(awk '/^SKIP / {
+    for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2]; }
+    printf "%s    \"%s\": {\"off_cold_ips\": %s, \"on_cold_ips\": %s, \
+\"off_warm_ips\": %s, \"on_warm_ips\": %s, \"speedup\": %s, \
+\"skip_rate\": %s}", (n++ ? ",\n" : "\n"), v["lat"], v["off_cold_ips"],
+        v["on_cold_ips"], v["off_warm_ips"], v["on_warm_ips"],
+        v["speedup"], v["skip_rate"];
+} END { if (n) print "" }' "$TMP/skip.txt")
+
+# Committed baseline for this runner class (0 = no baseline known).
+BASE_COMMITTED=$(sed -n \
+    "s/.*\"$CLASS\": {\"committed_on_cold_ips\": \([0-9]*\).*/\1/p" \
+    "$BASELINE")
+BASE_COMMITTED="${BASE_COMMITTED:-0}"
+
+FLOOR=$(awk -v b="$BASE_COMMITTED" 'BEGIN { printf "%d", b * 0.7 }')
+if [ "$BASE_COMMITTED" -gt 0 ] && \
+   [ "$(awk -v c="$TOTAL_ON" -v f="$FLOOR" \
+        'BEGIN { print (c + 0 < f) ? 1 : 0 }')" = 1 ]; then
+    SMOKE_OK=false
+else
+    SMOKE_OK=true
+fi
+
+{
+    printf '{\n'
+    printf '  "benchmark": "skip_ff",\n'
+    printf '  "runner_class": "%s",\n' "$CLASS"
+    printf '  "latencies": {%s  },\n' "$LATS"
+    printf '  "total_off_cold_ips": %s,\n' "$TOTAL_OFF"
+    printf '  "total_on_cold_ips": %s,\n' "$TOTAL_ON"
+    printf '  "total_speedup": %s,\n' "$TOTAL_SPEEDUP"
+    printf '  "baseline_committed_on_cold_ips": %s,\n' "$BASE_COMMITTED"
+    printf '  "perf_smoke_floor": %s,\n' "$FLOOR"
+    printf '  "perf_smoke_ok": %s\n' "$SMOKE_OK"
+    printf '}\n'
+} > "$OUT"
+echo "wrote $OUT (skip-on cold ${TOTAL_ON} insts/s," \
+     "${TOTAL_SPEEDUP}x vs. stepping)" >&2
+
+if [ "$SMOKE" = 1 ] && [ "$SMOKE_OK" = false ]; then
+    echo "error: skip-on cold throughput ${TOTAL_ON} insts/s is more" \
+         "than 30% below the committed '$CLASS' baseline" \
+         "($BASE_COMMITTED)" >&2
+    exit 1
+fi

@@ -205,6 +205,17 @@ struct SimConfig
     std::uint64_t seed = 1;
     /** Instructions to graduate before statistics reset (cache warm-up). */
     std::uint64_t warmupInsts = 50000;
+    /**
+     * Fast-forward quiescent spans (no stage can do any work) to the
+     * next wake event instead of stepping them cycle by cycle; set from
+     * the CLI with --cycle-skip. An execution strategy, not a machine
+     * parameter: results are byte-identical either way (the skip-vs-
+     * step contract, tests/test_skip.cc), so like SimJob::profile it is
+     * deliberately excluded from serializeConfig() — it must not
+     * perturb configFingerprint()/prefixKey() or snapshot
+     * compatibility.
+     */
+    bool cycleSkip = true;
 
     /** Number of architectural integer registers (fixed by the ISA). */
     static constexpr std::uint32_t kArchIntRegs = 32;

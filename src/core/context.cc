@@ -209,6 +209,32 @@ Context::sampleIqWindow()
         policyDirty = true;
 }
 
+void
+Context::advanceIqWindow(std::uint64_t n)
+{
+    const std::uint32_t v = std::uint32_t(iq.size());
+    if (n >= kIqWindow) {
+        // Every ring slot is overwritten at least once: the window
+        // saturates at n samples of the constant occupancy.
+        if (iqWindowSum != v * kIqWindow)
+            policyDirty = true;
+        iqSamples.fill(v);
+        iqWindowSum = v * kIqWindow;
+    } else {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint32_t &slot = iqSamples[iqSampleAt];
+            if (slot != v) {
+                iqWindowSum += v - slot;
+                slot = v;
+                policyDirty = true;
+            }
+            iqSampleAt = (iqSampleAt + 1) % kIqWindow;
+        }
+        return;
+    }
+    iqSampleAt = std::uint32_t((iqSampleAt + n) % kIqWindow);
+}
+
 ThreadState
 Context::policyState(const SimConfig &cfg, Cycle now) const
 {

@@ -215,6 +215,14 @@ struct Context
      */
     void sampleIqWindow();
 
+    /**
+     * Advance the IQ-occupancy window by @p n cycles in O(min(n, 64)):
+     * byte-identical to calling sampleIqWindow() n times with an
+     * unchanging iq.size() — which is exactly the situation during a
+     * quiescent fast-forwarded span (no dispatch, no issue).
+     */
+    void advanceIqWindow(std::uint64_t n);
+
     /** Register file holding registers of @p cls. */
     RegFile &file(RegClass cls)
     {

@@ -58,6 +58,21 @@ class PerceivedTracker
         slots_[token].stalls += 1;
     }
 
+    /**
+     * Attribute @p n stall cycles to the miss behind @p token in one
+     * step. Used by the idle fast-forward engine: per-cycle stall
+     * attribution is order-independent (every stalled issue head gets
+     * exactly one stall per unit per cycle), so a quiescent span of n
+     * cycles adds exactly n per {unit, head} pair.
+     */
+    void
+    stall(std::uint32_t token, std::uint64_t n)
+    {
+        MTDAE_ASSERT(token < slots_.size() && slots_[token].active,
+                     "stall on a closed perceived-latency token");
+        slots_[token].stalls += n;
+    }
+
     /** The miss completed: fold its stalls into the per-class average. */
     void
     close(std::uint32_t token)

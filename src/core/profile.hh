@@ -41,9 +41,10 @@ enum class Stage : std::uint8_t {
     Graduate,  ///< in-order retirement from the ROBs
     Snapshot,  ///< ThreadState rebuilds for the policy layer
     Other,     ///< IQ-window sampling, policy endCycle, loop overhead
+    Skipped,   ///< fast-forwarded quiescent spans (trySkipIdle)
 };
 
-inline constexpr std::size_t kNumStages = 7;
+inline constexpr std::size_t kNumStages = 8;
 
 /** Stable lowercase stage name (CLI/JSON/bench output). */
 inline const char *
@@ -57,6 +58,7 @@ stageName(Stage s)
     case Stage::Graduate: return "graduate";
     case Stage::Snapshot: return "snapshot";
     case Stage::Other: return "other";
+    case Stage::Skipped: return "skipped";
     }
     return "?";
 }

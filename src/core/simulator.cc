@@ -572,6 +572,266 @@ Simulator::graduateStage()
 }
 
 // ---------------------------------------------------------------------
+// Idle fast-forward
+// ---------------------------------------------------------------------
+
+bool
+Simulator::canDispatch(const Context &ctx) const
+{
+    const FetchedInst &fi = ctx.fetchBuf.front();
+    const TraceInst &ti = fi.ti;
+    const Unit unit = ti.unit();
+
+    if (ctx.rob.size() >= cfg_.robEntries)
+        return false;
+    if (ti.op != Opcode::Nop) {
+        const auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
+        const std::size_t cap =
+            unit == Unit::AP ? cfg_.apQueueEntries : cfg_.iqEntries;
+        if (queue.size() >= cap)
+            return false;
+    }
+    if (isStore(ti.op) && ctx.saq.size() >= cfg_.saqEntries)
+        return false;
+    if (ti.dst.valid() && !ctx.file(ti.dst.cls).hasFree())
+        return false;
+    return true;
+}
+
+bool
+Simulator::quiescent()
+{
+    // A completion due this cycle wakes the whole pipeline.
+    if (!events_.empty() && events_.top().at <= now_)
+        return false;
+
+    for (const auto &ctxp : contexts_) {
+        const Context &ctx = *ctxp;
+
+        // Graduation: a Completed ROB head would graduate this cycle.
+        // Even a store whose cache write would be *rejected* breaks
+        // quiescence, because the attempt mutates the reject counters.
+        if (!ctx.rob.empty()) {
+            const DynInst &head = ctx.rob.front();
+            if (head.state == InstState::Completed &&
+                (!head.isStoreOp || ctx.storeDataReady(head)))
+                return false;
+        }
+
+        // Issue: a unit-queue head passing its gates would issue — or,
+        // for a load denied a port/MSHR, at least attempt an access and
+        // mutate the memory statistics. Only the heads matter:
+        // issueUnit stops a thread's unit at the first non-issuable
+        // instruction, and with both heads stuck neither two-pass round
+        // can unblock the other unit.
+        const auto head_can_issue = [&](const DynInst *di) {
+            if (!cfg_.decoupled && di->seq != ctx.nextIssueSeq)
+                return false;
+            return di->isStoreOp ? ctx.storeAddrReady(*di)
+                                 : ctx.operandsReady(*di);
+        };
+        if (!ctx.apQ.empty() && head_can_issue(ctx.apQ.front()))
+            return false;
+        if (!ctx.iq.empty() && head_can_issue(ctx.iq.front()))
+            return false;
+    }
+
+    // Front end, consulted on the same ThreadStates the real stages
+    // would see. An eligible thread *vetoed* by a gating policy does
+    // not break quiescence: mayFetch()/shouldFlush() read only
+    // outstandingMisses, which cannot change without a completion
+    // event — and any completion ends the span.
+    const auto &threads = snapshotThreads();
+    for (const ThreadState &t : threads) {
+        Context &ctx = *contexts_[t.tid];
+        if (!ctx.fetchBuf.empty()) {
+            if (fetchPolicy_->shouldFlush(t))
+                return false;
+            if (canDispatch(ctx))
+                return false;
+        }
+        if (t.fetchEligible && fetchPolicy_->mayFetch(t)) {
+            // An eligible thread still fetches nothing when the next
+            // instruction is a conditional branch beyond the control
+            // speculation limit — and unresolvedBranches cannot drop
+            // without an issue or completion, both of which end the
+            // span anyway. The peek is idempotent (it caches into
+            // pendingInst exactly as the stepping fetch stage would).
+            const TraceInst *tip = nextInst(ctx);
+            if (tip &&
+                !(isCondBranch(tip->op) &&
+                  ctx.unresolvedBranches >= cfg_.maxUnresolvedBranches))
+                return false;
+        }
+    }
+    return true;
+}
+
+Cycle
+Simulator::nextWakeCycle() const
+{
+    Cycle wake = events_.empty() ? kNoCycle : events_.top().at;
+
+    const Cycle mem_next = mem_.nextEventCycle(now_);
+    if (mem_next < wake)
+        wake = mem_next;
+
+    // A redirected thread resumes fetching at fetchResumeAt — a wake
+    // source when the thread would actually have something to fetch
+    // and room to put it (both frozen during quiescence). A thread the
+    // gating policy would still veto wakes us only into a re-check and
+    // re-skip, which conservatism permits.
+    for (const auto &ctxp : contexts_) {
+        const Context &ctx = *ctxp;
+        if (ctx.fetchBlocked || ctx.fetchResumeAt <= now_)
+            continue;
+        if (ctx.replayQ.empty() && ctx.traceDone && !ctx.hasPending)
+            continue;
+        if (ctx.fetchBuf.size() >= cfg_.fetchBufferSize)
+            continue;
+        if (ctx.fetchResumeAt < wake)
+            wake = ctx.fetchResumeAt;
+    }
+    return wake;
+}
+
+void
+Simulator::idleStepStats()
+{
+    MTDAE_ASSERT(events_.empty() || events_.top().at > now_,
+                 "completion event fired inside a fast-forwarded span");
+    const auto &threads = snapshotThreads();
+    issuePolicy_->issueOrder(Unit::AP, threads, orderAp_);
+    issuePolicy_->issueOrder(Unit::EP, threads, orderEp_);
+    // Nothing issues, so every slot is free: accountSlots classifies
+    // the stalled heads and charges the perceived-latency stalls,
+    // exactly as the stepped issue stage would.
+    accountSlots(Unit::AP, orderAp_, cfg_.apUnits);
+    accountSlots(Unit::EP, orderEp_, cfg_.epUnits);
+    for (auto &ctxp : contexts_)
+        ctxp->sampleIqWindow();
+    fetchPolicy_->endCycle();
+    issuePolicy_->endCycle();
+    now_ += 1;
+}
+
+bool
+Simulator::trySkipIdle(std::uint64_t max_cycles)
+{
+#if MTDAE_PROFILE
+    std::chrono::steady_clock::time_point t0;
+    if (profileEnabled_)
+        t0 = std::chrono::steady_clock::now();
+#endif
+    if (!quiescent())
+        return false;
+
+    // Jump to the earliest cycle anything can happen, clamped to the
+    // run-loop horizon and to the deadlock guard's firing point so a
+    // wedged pipeline panics at the identical cycle either way.
+    Cycle target = nextWakeCycle();
+    if (max_cycles < target)
+        target = max_cycles;
+    const Cycle guard_at = lastGraduation_ + 1'000'001;
+    if (guard_at < target)
+        target = guard_at;
+    if (target < now_ + 2)
+        return false;  // a one-cycle jump is just a step
+
+    MTDAE_ASSERT(events_.empty() || events_.top().at >= target,
+                 "fast-forward past a pending completion event");
+
+    const std::uint64_t total = target - now_;
+    std::uint64_t n = total;
+
+    // Phase A: the Split issue policy orders the EP by the windowed IQ
+    // occupancy, which keeps evolving for up to kIqWindow cycles after
+    // the last dispatch; microstep until the window saturates and the
+    // visit orders become purely rotation-periodic.
+    if (cfg_.issuePolicy == PolicyKind::Split) {
+        std::uint64_t head =
+            n < Context::kIqWindow ? n : Context::kIqWindow;
+        for (; head > 0; --head, --n)
+            idleStepStats();
+    }
+
+    // Phase B: with the machine state frozen, every per-cycle policy
+    // consultation repeats with the rotation period (numThreads), so
+    // microstep one period to measure its statistics delta, then apply
+    // k more periods arithmetically.
+    const std::uint64_t period = cfg_.numThreads;
+    if (n >= 2 * period) {
+        const std::array<std::uint64_t, kNumSlotUses> ap0 =
+            slotsAp_.counts;
+        const std::array<std::uint64_t, kNumSlotUses> ep0 =
+            slotsEp_.counts;
+        for (std::uint64_t i = 0; i < period; ++i)
+            idleStepStats();
+        n -= period;
+        const std::uint64_t k = n / period;
+        if (k > 0) {
+            const std::uint64_t bulk = k * period;
+            for (std::size_t u = 0; u < kNumSlotUses; ++u) {
+                slotsAp_.counts[u] += (slotsAp_.counts[u] - ap0[u]) * k;
+                slotsEp_.counts[u] += (slotsEp_.counts[u] - ep0[u]) * k;
+            }
+            // Perceived-latency stalls: accountSlots charges each
+            // WaitMem-classified queue head one stall per unit per
+            // cycle, independent of the visit order; the head set is
+            // frozen for the whole span, so bulk cycles multiply out.
+            for (const Unit unit : {Unit::AP, Unit::EP}) {
+                for (auto &ctxp : contexts_) {
+                    Context &ctx = *ctxp;
+                    auto &queue = unit == Unit::AP ? ctx.apQ : ctx.iq;
+                    if (queue.empty())
+                        continue;
+                    const DynInst *di = queue.front();
+                    if (!cfg_.decoupled && di->seq != ctx.nextIssueSeq)
+                        continue;
+                    std::uint32_t tok = PerceivedTracker::kNoToken;
+                    if (ctx.stallSource(*di, tok) ==
+                            Producer::Kind::Load &&
+                        tok != PerceivedTracker::kNoToken)
+                        ctx.perceived.stall(tok, bulk);
+                }
+            }
+            for (auto &ctxp : contexts_)
+                ctxp->advanceIqWindow(bulk);
+            fetchPolicy_->skipCycles(bulk);
+            issuePolicy_->skipCycles(bulk);
+            now_ += bulk;
+            n -= bulk;
+        }
+    }
+
+    // Phase C: remainder, so the rotations land exactly where stepping
+    // would have left them at the wake cycle.
+    for (; n > 0; --n)
+        idleStepStats();
+
+    // Stepping calls mem_.beginCycle at the start of every cycle; the
+    // last call a stepped run would have made is at target - 1.
+    // Fill recycling is idempotent and per-MSHR independent, so one
+    // catch-up call leaves the hierarchy byte-identical.
+    mem_.beginCycle(now_ - 1);
+
+    cyclesSkipped_ += total;
+    skipEvents_ += 1;
+#if MTDAE_PROFILE
+    if (profileEnabled_) {
+        const std::uint64_t d = std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        profile_.ns[std::size_t(Stage::Skipped)] += d;
+        profile_.totalNs += d;
+        profile_.cycles += total;
+    }
+#endif
+    return true;
+}
+
+// ---------------------------------------------------------------------
 // Top level
 // ---------------------------------------------------------------------
 
@@ -679,6 +939,8 @@ Simulator::resetStats()
     mispredicts_ = 0;
     condBranches_ = 0;
     forwardedLoads_ = 0;
+    cyclesSkipped_ = 0;
+    skipEvents_ = 0;
     mem_.resetStats(now_);
     for (auto &ctxp : contexts_) {
         ctxp->perceived.resetStats();
@@ -730,6 +992,8 @@ Simulator::snapshot() const
     r.ep = slotsEp_;
     r.mispredictRate =
         condBranches_ ? double(mispredicts_) / condBranches_ : 0.0;
+    r.cyclesSkipped = cyclesSkipped_;
+    r.skipEvents = skipEvents_;
     r.profile = profile_;
     return r;
 }
@@ -752,7 +1016,8 @@ Simulator::runWarmup(std::uint64_t max_cycles)
 {
     while (totalGraduated_ < cfg_.warmupInsts && now_ < max_cycles &&
            !allDone()) {
-        step();
+        if (!skipProbeDue() || !trySkipIdle(max_cycles))
+            step();
         guardProgress(now_, lastGraduation_);
     }
 }
@@ -763,7 +1028,8 @@ Simulator::runMeasure(std::uint64_t measure_insts, std::uint64_t max_cycles)
     resetStats();
     const std::uint64_t target = totalGraduated_ + measure_insts;
     while (totalGraduated_ < target && now_ < max_cycles && !allDone()) {
-        step();
+        if (!skipProbeDue() || !trySkipIdle(max_cycles))
+            step();
         guardProgress(now_, lastGraduation_);
     }
     return snapshot();

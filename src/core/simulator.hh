@@ -80,6 +80,14 @@ struct RunResult
 
     double mispredictRate = 0.0;  ///< Conditional-branch mispredict rate.
 
+    /** Cycles of the interval fast-forwarded by the idle skip engine
+     *  (a subset of cycles; 0 with --cycle-skip=off). Observability
+     *  only: excluded from every byte-identity comparison, because the
+     *  simulated statistics are identical either way. */
+    std::uint64_t cyclesSkipped = 0;
+    /** Quiescent spans fast-forwarded (trySkipIdle successes). */
+    std::uint64_t skipEvents = 0;
+
     /** Per-stage wall-clock breakdown of the measured interval. All
      *  zeros (enabled == false) unless Simulator::setProfiling(true)
      *  was in force; wall-clock measurement, never part of any
@@ -254,6 +262,54 @@ class Simulator
     /** step() body; Profiled selects the timing instrumentation. */
     template <bool Profiled> void stepImpl();
 
+    // --- Idle fast-forward engine (cfg_.cycleSkip) ---------------------
+    /**
+     * True when stepping the current cycle could not change any
+     * simulated state except the per-cycle bookkeeping idleStepStats()
+     * reproduces: no completion event is due, no ROB head can graduate,
+     * no queue head can issue (or attempt a memory access), no thread
+     * can dispatch, fetch or flush. Conservative: any doubt returns
+     * false and the cycle is stepped normally.
+     */
+    bool quiescent();
+    /** Side-effect-free mirror of tryDispatch's resource checks. */
+    bool canDispatch(const Context &ctx) const;
+    /**
+     * Earliest cycle after now_ at which quiescence could end: the
+     * completion-event head, the memory system's next event, and every
+     * gated thread's fetchResumeAt. kNoCycle when nothing is pending.
+     */
+    Cycle nextWakeCycle() const;
+    /**
+     * One cycle of quiescent bookkeeping, byte-identical to stepImpl on
+     * a quiescent cycle: slot accounting + perceived stalls over the
+     * policy issue orders, IQ-window sampling, policy endCycle()s,
+     * now_ advance. No stage logic runs — quiescence means none would
+     * do anything.
+     */
+    void idleStepStats();
+    /**
+     * Fast-forward a quiescent span: when quiescent(), advance now_ and
+     * every cycle-indexed statistic to min(next wake, @p max_cycles,
+     * deadlock-guard horizon) without evaluating the pipeline stages.
+     * Byte-identical to stepping the same span.
+     *
+     * @return true when at least one cycle was skipped (the run loop
+     *         skips its step() for this iteration)
+     */
+    bool trySkipIdle(std::uint64_t max_cycles);
+    /**
+     * Cheap gate in front of the quiescence probe: an idle span cannot
+     * contain a graduation, so a recent graduation means the pipeline
+     * is busy and the full quiescent() scan would be wasted work. The
+     * price is at most two stepped cycles at the head of each span.
+     */
+    bool
+    skipProbeDue() const
+    {
+        return cfg_.cycleSkip && now_ >= lastGraduation_ + 2;
+    }
+
     /**
      * Hand the policy layer its per-context snapshots, recomputing only
      * threads whose Context::policyDirty flag is set (or whose cached
@@ -304,6 +360,12 @@ class Simulator
     std::uint64_t condBranches_ = 0;
     std::uint64_t forwardedLoads_ = 0;
     Cycle lastGraduation_ = 0;
+    /** Cycles fast-forwarded in this interval (RunResult::cyclesSkipped);
+     *  interval statistics like slotsAp_, not simulated state — never
+     *  serialized into snapshots. */
+    std::uint64_t cyclesSkipped_ = 0;
+    /** Spans fast-forwarded in this interval (RunResult::skipEvents). */
+    std::uint64_t skipEvents_ = 0;
 };
 
 } // namespace mtdae

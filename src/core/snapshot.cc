@@ -51,6 +51,10 @@ serializeConfig(const SimConfig &cfg, ByteWriter &w)
     w.u32(cfg.dramBusCycles);
     w.u64(cfg.seed);
     w.u64(cfg.warmupInsts);
+    // cfg.cycleSkip is deliberately not serialized: like SimJob::profile
+    // it is an execution strategy with byte-identical results, so it
+    // must not perturb configFingerprint()/prefixKey() — a skip-on run
+    // may warm-start from a skip-off checkpoint and vice versa.
 }
 
 std::uint64_t

@@ -278,6 +278,9 @@ knobs()
         {"warmup", u64(&SimConfig::warmupInsts)},
         // Alias of --warmup: the checkpoint docs spell the knob out.
         {"warmup-insts", u64(&SimConfig::warmupInsts)},
+        {"cycle-skip", Knob{[](SimConfig &c, const std::string &v) {
+             return parseBool(v, c.cycleSkip);
+         }}},
     };
     return k;
 }
@@ -369,7 +372,8 @@ expRun(const Options &opts, std::ostream &err)
                  "cycles",    "insts",       "ipc",       "perceived_fp",
                  "perceived_int", "perceived_all", "load_miss",
                  "store_miss", "delayed_hit", "bus_util",  "mispredict",
-                 "ap_useful", "ep_useful"};
+                 "ap_useful", "ep_useful",   "cycles_skipped",
+                 "skip_events"};
     const std::uint64_t insts = budget(opts, 300000);
     std::vector<std::string> benches = opts.benchmarks;
     if (benches.empty())
@@ -421,7 +425,9 @@ expRun(const Options &opts, std::ostream &err)
                  fmt(r.storeMissRatio), fmt(r.mergedRatio),
                  fmt(r.busUtilization), fmt(r.mispredictRate),
                  fmt(r.ap.fraction(SlotUse::Useful)),
-                 fmt(r.ep.fraction(SlotUse::Useful))});
+                 fmt(r.ep.fraction(SlotUse::Useful)),
+                 std::to_string(r.cyclesSkipped),
+                 std::to_string(r.skipEvents)});
         }
     }
     MTDAE_ASSERT(k == results.size(),

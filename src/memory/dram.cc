@@ -87,6 +87,18 @@ Dram::resetStats(Cycle now)
     bus_.resetStats(now);
 }
 
+Cycle
+Dram::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNoCycle;
+    for (const Bank &bank : banks_)
+        if (bank.freeAt > now && bank.freeAt < next)
+            next = bank.freeAt;
+    if (bus_.freeAt() > now && bus_.freeAt() < next)
+        next = bus_.freeAt();
+    return next;
+}
+
 void
 Dram::save(ByteWriter &w) const
 {

@@ -92,6 +92,15 @@ class Dram
     /** Row index within its bank of a line address (for tests). */
     std::uint64_t rowOf(std::uint64_t line_addr) const;
 
+    /**
+     * Earliest cycle strictly after @p now at which a pending DRAM
+     * reservation expires (a bank or the data bus becomes free);
+     * kNoCycle when nothing is in flight. Conservative wake source for
+     * the idle fast-forward engine: DRAM timing is computed at request
+     * time, so nothing the core can observe changes before this cycle.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Serialize bank/row-buffer, bus and statistics state. */
     void save(ByteWriter &w) const;
 

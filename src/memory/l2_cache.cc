@@ -132,6 +132,19 @@ L2Cache::resetStats()
     stats_.reset();
 }
 
+Cycle
+L2Cache::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNoCycle;
+    for (const Cycle t : portFreeAt_)
+        if (t > now && t < next)
+            next = t;
+    for (const Cycle t : mshrFreeAt_)
+        if (t > now && t < next)
+            next = t;
+    return next;
+}
+
 void
 L2Cache::save(ByteWriter &w) const
 {

@@ -90,6 +90,15 @@ class L2Cache
         return static_cast<std::uint32_t>(line_addr & setMask_);
     }
 
+    /**
+     * Earliest cycle strictly after @p now at which an L2 port or MSHR
+     * reservation expires; kNoCycle when none is pending. Deliberately
+     * does not scan the (large) tag array: per-line readyAt values are
+     * analytic — only read by later accesses — and every in-flight fill
+     * holds an MSHR reservation, so the MSHR scan bounds them.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Serialize tags, LRU, port/MSHR reservations and statistics. */
     void save(ByteWriter &w) const;
 

@@ -186,6 +186,23 @@ MemorySystem::access(Addr addr, bool is_store, Cycle now)
     return res;
 }
 
+Cycle
+MemorySystem::nextEventCycle(Cycle now) const
+{
+    Cycle next = nextFillAt_ > now ? nextFillAt_ : kNoCycle;
+    if (bus_.freeAt() > now && bus_.freeAt() < next)
+        next = bus_.freeAt();
+    if (!perfectL2_) {
+        const Cycle l2 = l2_.nextEventCycle(now);
+        if (l2 < next)
+            next = l2;
+        const Cycle dram = dram_.nextEventCycle(now);
+        if (dram < next)
+            next = dram;
+    }
+    return next;
+}
+
 void
 MemorySystem::resetStats(Cycle now)
 {

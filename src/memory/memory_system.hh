@@ -148,6 +148,20 @@ class MemorySystem
     /** Reset statistics (start of the measured interval). */
     void resetStats(Cycle now);
 
+    /**
+     * Earliest cycle strictly after @p now at which anything in the
+     * hierarchy changes state: the next L1 MSHR fill landing
+     * (nextFillAt_), an L1-L2 bus reservation expiring, and — with the
+     * finite backend — the next L2 port/MSHR or DRAM bank/bus
+     * reservation expiring. kNoCycle when the hierarchy is fully
+     * drained. The idle fast-forward engine treats this as a
+     * conservative wake source: it must never be later than the first
+     * memory event the core could observe (the never-under-report
+     * contract, tests/test_skip.cc) — reporting earlier only costs a
+     * re-check.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Serialize the entire hierarchy's mutable state. */
     void save(ByteWriter &w) const;
 

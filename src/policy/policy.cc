@@ -56,6 +56,9 @@ class RotatingOrder
 
     void advance() { rr_ = (rr_ + 1) % nthreads_; }
 
+    /** Advance @p n times in O(1): n modular increments collapse. */
+    void skip(std::uint64_t n) { rr_ = std::uint32_t((rr_ + n) % nthreads_); }
+
     /** Current rotation base (checkpointing). */
     std::uint32_t position() const { return rr_; }
 
@@ -157,6 +160,7 @@ class KeyedFetchPolicy final : public FetchPolicy
     }
 
     void endCycle() override { rot_.advance(); }
+    void skipCycles(std::uint64_t n) override { rot_.skip(n); }
 
     void save(ByteWriter &w) const override { w.u32(rot_.position()); }
     void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
@@ -195,6 +199,7 @@ class KeyedArbitrationPolicy final : public ArbitrationPolicy
     }
 
     void endCycle() override { rot_.advance(); }
+    void skipCycles(std::uint64_t n) override { rot_.skip(n); }
 
     void save(ByteWriter &w) const override { w.u32(rot_.position()); }
     void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
@@ -260,6 +265,7 @@ class GatingFetchPolicy final : public FetchPolicy
     }
 
     void endCycle() override { rot_.advance(); }
+    void skipCycles(std::uint64_t n) override { rot_.skip(n); }
 
     void save(ByteWriter &w) const override { w.u32(rot_.position()); }
     void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
@@ -311,6 +317,7 @@ class SplitArbitrationPolicy final : public ArbitrationPolicy
     }
 
     void endCycle() override { rot_.advance(); }
+    void skipCycles(std::uint64_t n) override { rot_.skip(n); }
 
     void save(ByteWriter &w) const override { w.u32(rot_.position()); }
     void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }

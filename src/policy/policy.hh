@@ -175,6 +175,14 @@ class FetchPolicy
     /** Advance per-cycle state (rotations); called once per cycle. */
     virtual void endCycle() {}
 
+    /**
+     * Advance per-cycle state by @p n cycles at once; must leave the
+     * policy in exactly the state n endCycle() calls would (the idle
+     * fast-forward engine's byte-identity contract). The default
+     * matches the default endCycle(): no per-cycle state, no-op.
+     */
+    virtual void skipCycles(std::uint64_t n) { (void)n; }
+
     /** Serialize private per-cycle state (rotations). Policies are
      *  otherwise stateless, so the default writes nothing. */
     virtual void save(ByteWriter &w) const { (void)w; }
@@ -211,6 +219,10 @@ class ArbitrationPolicy
 
     /** Advance per-cycle state (rotations); called once per cycle. */
     virtual void endCycle() {}
+
+    /** Advance per-cycle state by @p n cycles at once; must equal n
+     *  endCycle() calls byte for byte (see FetchPolicy::skipCycles). */
+    virtual void skipCycles(std::uint64_t n) { (void)n; }
 
     /** Serialize private per-cycle state (rotations). */
     virtual void save(ByteWriter &w) const { (void)w; }

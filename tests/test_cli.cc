@@ -109,7 +109,8 @@ TEST(CliParse, EveryDocumentedKeyIsSettable)
     std::string error;
     for (const auto &key : cli::overrideKeys()) {
         const std::string value =
-            key == "decoupled" || key == "perfect-l2" ? "true"
+            key == "decoupled" || key == "perfect-l2" ||
+                    key == "cycle-skip"               ? "true"
             : key == "predictor"                      ? "gshare"
             : key == "fetch-policy" || key == "issue-policy"
                 ? "round-robin"
