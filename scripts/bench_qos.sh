@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# Benchmark the QoS/adaptive arbitration grid: time `mtdae ablate-qos`
+# (thread-weight vectors x policy pairs at L2 = 256 KiB on the finite
+# L2 + DRAM backend) at --jobs=1 versus --jobs=N, verify the two runs
+# produce byte-identical CSV (the weighted comparators and the
+# adaptive gate must stay pure functions of simulation state), and
+# emit BENCH_qos.json with the wall-clock numbers and the speedup.
+#
+# Usage: scripts/bench_qos.sh [build-dir]     (default: build)
+#
+# Environment:
+#   MTDAE_JOBS    parallel worker count          (default: nproc)
+#   BENCH_INSTS   per-run instruction budget     (default: 20000)
+#   BENCH_OUT     output JSON path               (default: BENCH_qos.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+MTDAE="$BUILD_DIR/mtdae"
+JOBS="${MTDAE_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+INSTS="${BENCH_INSTS:-20000}"
+OUT="${BENCH_OUT:-BENCH_qos.json}"
+
+[ -x "$MTDAE" ] || { echo "error: $MTDAE not built" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Current time in milliseconds: nanosecond resolution where date
+# supports %N (GNU), whole seconds elsewhere (BSD prints a literal N).
+now_ms() {
+    ns=$(date +%s%N 2>/dev/null || echo x)
+    case "$ns" in
+        ''|*[!0-9]*) echo $(( $(date +%s) * 1000 )) ;;
+        *) echo $(( ns / 1000000 )) ;;
+    esac
+}
+
+# Milliseconds of wall clock spent running "$@".
+time_ms() {
+    start=$(now_ms)
+    "$@"
+    end=$(now_ms)
+    echo $(( end - start ))
+}
+
+# --latencies is ablate-qos's swept-L2-size axis, in KiB.
+echo "timing: mtdae ablate-qos --insts=$INSTS --latencies=256 ..." >&2
+SERIAL_MS=$(time_ms "$MTDAE" ablate-qos --insts="$INSTS" \
+    --warmup=2000 --latencies=256 --quiet --jobs=1 --out="$TMP/serial")
+echo "  --jobs=1: ${SERIAL_MS} ms" >&2
+PARALLEL_MS=$(time_ms "$MTDAE" ablate-qos --insts="$INSTS" \
+    --warmup=2000 --latencies=256 --quiet --jobs="$JOBS" \
+    --out="$TMP/parallel")
+echo "  --jobs=$JOBS: ${PARALLEL_MS} ms" >&2
+
+if cmp -s "$TMP/serial/ablate_qos.csv" \
+          "$TMP/parallel/ablate_qos.csv"; then
+    IDENTICAL=true
+else
+    IDENTICAL=false
+fi
+
+SPEEDUP=$(awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" \
+    'BEGIN { printf "%.3f", (p > 0) ? s / p : 0 }')
+
+cat > "$OUT" <<EOF
+{
+  "experiment": "ablate-qos",
+  "insts_per_run": $INSTS,
+  "jobs": $JOBS,
+  "serial_ms": $SERIAL_MS,
+  "parallel_ms": $PARALLEL_MS,
+  "speedup": $SPEEDUP,
+  "csv_identical": $IDENTICAL
+}
+EOF
+echo "wrote $OUT (speedup ${SPEEDUP}x, identical=$IDENTICAL)" >&2
+
+[ "$IDENTICAL" = true ] || {
+    echo "error: --jobs=1 and --jobs=$JOBS CSVs differ" >&2
+    exit 1
+}

@@ -24,6 +24,10 @@ policyName(PolicyKind k)
         return "flush";
       case PolicyKind::Split:
         return "split";
+      case PolicyKind::Adaptive:
+        return "adaptive";
+      case PolicyKind::Weighted:
+        return "weighted";
     }
     MTDAE_PANIC("unreachable PolicyKind");
 }
@@ -51,6 +55,8 @@ allPolicies()
         PolicyKind::Stall,
         PolicyKind::Flush,
         PolicyKind::Split,
+        PolicyKind::Adaptive,
+        PolicyKind::Weighted,
     };
     return kinds;
 }
@@ -65,6 +71,8 @@ fetchPolicies()
         PolicyKind::MissCount,
         PolicyKind::Stall,
         PolicyKind::Flush,
+        PolicyKind::Adaptive,
+        PolicyKind::Weighted,
     };
     return kinds;
 }
@@ -78,6 +86,7 @@ issuePolicies()
         PolicyKind::BrCount,
         PolicyKind::MissCount,
         PolicyKind::Split,
+        PolicyKind::Weighted,
     };
     return kinds;
 }
@@ -91,7 +100,8 @@ policyIsFetch(PolicyKind k)
 bool
 policyIsIssue(PolicyKind k)
 {
-    return k != PolicyKind::Stall && k != PolicyKind::Flush;
+    return k != PolicyKind::Stall && k != PolicyKind::Flush &&
+           k != PolicyKind::Adaptive;
 }
 
 SimConfig
@@ -132,11 +142,18 @@ SimConfig::validate() const
     if (!policyIsFetch(fetchPolicy))
         MTDAE_FATAL("'", policyName(fetchPolicy),
                     "' is not a fetch policy (valid: icount, "
-                    "round-robin, brcount, misscount, stall, flush)");
+                    "round-robin, brcount, misscount, stall, flush, "
+                    "adaptive, weighted)");
     if (!policyIsIssue(issuePolicy))
         MTDAE_FATAL("'", policyName(issuePolicy),
                     "' is not a dispatch/issue policy (valid: icount, "
-                    "round-robin, brcount, misscount, split)");
+                    "round-robin, brcount, misscount, split, "
+                    "weighted)");
+    for (const std::uint32_t w : threadWeights)
+        if (w == 0)
+            MTDAE_FATAL("thread weights must be >= 1");
+    if (adaptiveMissThreshold == 0)
+        MTDAE_FATAL("adaptiveMissThreshold must be >= 1");
     if (apUnits == 0 || epUnits == 0)
         MTDAE_FATAL("both units need at least one functional unit");
     if (apLatency == 0 || epLatency == 0)

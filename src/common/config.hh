@@ -26,7 +26,10 @@ namespace mtdae {
  * *gating* policies — they can veto a thread's fetch entirely, not just
  * de-prioritise it — and Split is a per-unit issue policy; each is
  * valid on one seam only (policyIsFetch / policyIsIssue, enforced by
- * SimConfig::validate()).
+ * SimConfig::validate()). Adaptive is a phase-reactive fetch policy
+ * (gating and ranking both switch on the trailing outstanding-miss
+ * window), and Weighted consumes the per-thread priority weights
+ * (SimConfig::threadWeights) on either seam.
  */
 enum class PolicyKind : std::uint8_t {
     Icount,      ///< Fewest buffered instructions first (the paper's
@@ -40,6 +43,12 @@ enum class PolicyKind : std::uint8_t {
                  ///< fetch buffer is squashed for replay (fetch only).
     Split,       ///< Per-unit issue: AP by outstanding misses, EP by
                  ///< windowed IQ occupancy (dispatch/issue only).
+    Adaptive,    ///< Phase-switched fetch: stall-style gating only past
+                 ///< the trailing-window miss threshold, pure rotation
+                 ///< when the window is empty (fetch only).
+    Weighted,    ///< Occupancy divided by the thread's priority weight
+                 ///< (cross-multiplied, so integer-exact); valid on
+                 ///< both seams.
 };
 
 /** CLI spelling of @p k ("icount", "round-robin", ...). */
@@ -115,6 +124,26 @@ struct SimConfig
      * different keys.
      */
     PolicyKind issuePolicy = PolicyKind::RoundRobin;
+    /**
+     * Per-thread priority weights for the QoS layer, consumed by the
+     * Weighted policies and by the fairness metrics in RunResult.
+     * Empty means every thread weighs 1 (uniform). A shorter list is
+     * tiled across the hardware contexts (thread t weighs
+     * threadWeights[t % size()]), so one vector describes any thread
+     * count — e.g. {4, 1} alternates foreground latency-critical and
+     * background batch contexts. Entries must be >= 1. CLI:
+     * --thread-weights=4,1.
+     */
+    std::vector<std::uint32_t> threadWeights;
+    /**
+     * Adaptive fetch-policy engagement threshold, in average
+     * outstanding L1 load misses over the trailing window: a thread is
+     * gated (stall-style) only while it has an outstanding miss AND its
+     * trailing-window miss sum has reached
+     * adaptiveMissThreshold * kMissWindow (window saturated at or above
+     * the threshold). CLI: --adaptive-threshold.
+     */
+    std::uint32_t adaptiveMissThreshold = 1;
     /** Max unresolved branches per thread (AP control speculation). */
     std::uint32_t maxUnresolvedBranches = 4;
     /** Extra cycles from branch resolution to fetch restart. */
@@ -237,6 +266,18 @@ struct SimConfig
     lineTransferCycles() const
     {
         return (l1LineBytes + busBytesPerCycle - 1) / busBytesPerCycle;
+    }
+
+    /**
+     * The priority weight of thread @p tid: threadWeights tiled across
+     * the contexts, 1 everywhere when the vector is empty.
+     */
+    std::uint32_t
+    threadWeight(std::uint32_t tid) const
+    {
+        return threadWeights.empty()
+                   ? 1u
+                   : threadWeights[tid % threadWeights.size()];
     }
 
     /** Die with a fatal() if the configuration is inconsistent. */

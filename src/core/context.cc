@@ -195,7 +195,7 @@ Context::stallSource(const DynInst &di, std::uint32_t &tok) const
 }
 
 void
-Context::sampleIqWindow()
+Context::sampleWindows()
 {
     std::uint32_t &slot = iqSamples[iqSampleAt];
     const std::uint32_t evicted = slot;
@@ -203,24 +203,64 @@ Context::sampleIqWindow()
     slot = std::uint32_t(iq.size());
     iqWindowSum += slot;
     iqSampleAt = (iqSampleAt + 1) % kIqWindow;
-    // The window feeds ThreadState::iqOccupancyWindow; an unchanged sum
-    // keeps the cached snapshot valid.
+    // The windows feed ThreadState::iqOccupancyWindow / ::missWindow;
+    // an unchanged sum keeps the cached snapshot valid.
     if (slot != evicted)
+        policyDirty = true;
+
+    const std::uint32_t cur = perceived.outstanding();
+    if (cur != missCountedFor) {
+        // Outstanding changed since the count was last taken: recount
+        // the slots equal to the new value. The recount can flip the
+        // uniformity observable even when no slot is rewritten.
+        missCountedFor = cur;
+        missSlotsAtCur = 0;
+        for (const std::uint32_t s : missSamples)
+            if (s == cur)
+                ++missSlotsAtCur;
+        policyDirty = true;
+    }
+    std::uint32_t &mslot = missSamples[missSampleAt];
+    const std::uint32_t mevicted = mslot;
+    missWindowSum -= mslot;
+    if (mevicted == cur)
+        --missSlotsAtCur;
+    mslot = cur;
+    ++missSlotsAtCur;
+    missWindowSum += mslot;
+    missSampleAt = (missSampleAt + 1) % kIqWindow;
+    if (mslot != mevicted)
         policyDirty = true;
 }
 
 void
-Context::advanceIqWindow(std::uint64_t n)
+Context::advanceWindows(std::uint64_t n)
 {
     const std::uint32_t v = std::uint32_t(iq.size());
+    const std::uint32_t m = perceived.outstanding();
     if (n >= kIqWindow) {
-        // Every ring slot is overwritten at least once: the window
-        // saturates at n samples of the constant occupancy.
-        if (iqWindowSum != v * kIqWindow)
+        // Every ring slot is overwritten at least once: the windows
+        // saturate at n samples of the constant values. The fill can
+        // make a mixed-but-equal-sum miss ring uniform, so the
+        // uniformity tracker must invalidate the cache too.
+        if (iqWindowSum != v * kIqWindow || missWindowSum != m * kIqWindow ||
+            missSlotsAtCur != kIqWindow || missCountedFor != m)
             policyDirty = true;
         iqSamples.fill(v);
         iqWindowSum = v * kIqWindow;
+        missSamples.fill(m);
+        missWindowSum = m * kIqWindow;
+        missSlotsAtCur = kIqWindow;
+        missCountedFor = m;
     } else {
+        if (m != missCountedFor) {
+            missCountedFor = m;
+            missSlotsAtCur = 0;
+            for (const std::uint32_t s : missSamples)
+                if (s == m)
+                    ++missSlotsAtCur;
+            policyDirty = true;
+        }
         for (std::uint64_t i = 0; i < n; ++i) {
             std::uint32_t &slot = iqSamples[iqSampleAt];
             if (slot != v) {
@@ -229,10 +269,19 @@ Context::advanceIqWindow(std::uint64_t n)
                 policyDirty = true;
             }
             iqSampleAt = (iqSampleAt + 1) % kIqWindow;
+            std::uint32_t &mslot = missSamples[missSampleAt];
+            if (mslot != m) {
+                missWindowSum += m - mslot;
+                mslot = m;
+                ++missSlotsAtCur;
+                policyDirty = true;
+            }
+            missSampleAt = (missSampleAt + 1) % kIqWindow;
         }
         return;
     }
     iqSampleAt = std::uint32_t((iqSampleAt + n) % kIqWindow);
+    missSampleAt = std::uint32_t((missSampleAt + n) % kIqWindow);
 }
 
 ThreadState
@@ -247,6 +296,13 @@ Context::policyState(const SimConfig &cfg, Cycle now) const
     s.unresolvedBranches = unresolvedBranches;
     s.outstandingMisses = perceived.outstanding();
     s.iqOccupancyWindow = iqWindowSum;
+    s.missWindow = missWindowSum;
+    // The count is synced lazily at the next sample, so guard on the
+    // value it was taken against; a stale count reads as non-uniform,
+    // which is always a safe (conservative) answer.
+    s.missWindowUniform = missCountedFor == s.outstandingMisses &&
+                          missSlotsAtCur == kIqWindow;
+    s.weight = cfg.threadWeight(tid);
     s.fetchEligible = !fetchBlocked && now >= fetchResumeAt &&
                       (!replayQ.empty() || !traceDone || hasPending) &&
                       fetchBuf.size() < cfg.fetchBufferSize;
@@ -352,6 +408,12 @@ Context::save(ByteWriter &w) const
         w.u32(s);
     w.u32(iqSampleAt);
     w.u32(iqWindowSum);
+
+    for (const std::uint32_t s : missSamples)
+        w.u32(s);
+    w.u32(missSampleAt);
+    w.u32(missWindowSum);
+    w.u64(graduatedBase);
 }
 
 void
@@ -421,6 +483,22 @@ Context::restore(ByteReader &r)
         s = r.u32();
     iqSampleAt = r.u32();
     iqWindowSum = r.u32();
+
+    for (std::uint32_t &s : missSamples)
+        s = r.u32();
+    missSampleAt = r.u32();
+    missWindowSum = r.u32();
+    graduatedBase = r.u64();
+
+    // Rebuild the derived miss-window uniformity count. Snapshots are
+    // taken at cycle boundaries, where sampleWindows() has just synced
+    // the count to perceived.outstanding(), so the recount reproduces
+    // the continued run's tracker exactly.
+    missCountedFor = perceived.outstanding();
+    missSlotsAtCur = 0;
+    for (const std::uint32_t s : missSamples)
+        if (s == missCountedFor)
+            ++missSlotsAtCur;
 
     policyDirty = true;
 }

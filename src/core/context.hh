@@ -191,6 +191,16 @@ struct Context
     // Per-thread statistics.
     PerceivedTracker perceived;
     std::uint64_t graduated = 0;
+    /**
+     * graduated as of the last statistics reset
+     * (Simulator::resetStats): graduated - graduatedBase is the
+     * thread's measure-interval instruction count, the basis of the
+     * per-thread slowdown/fairness metrics in RunResult. Serialized
+     * (unlike the interval-only skip counters) because it feeds result
+     * rows: a warm-started run must compute the same per-thread
+     * metrics as a cold one.
+     */
+    std::uint64_t graduatedBase = 0;
 
     /**
      * Invalidation flag for the simulator's cached ThreadState
@@ -200,28 +210,49 @@ struct Context
      */
     bool policyDirty = true;
 
-    /** Cycles in the trailing IQ-occupancy window (the split policy's
-     *  EP drain-rate key; ThreadState::iqOccupancyWindow). */
-    static constexpr std::uint32_t kIqWindow = 64;
+    /** Cycles in the trailing statistic windows (the split policy's
+     *  EP drain-rate key and the adaptive policy's phase key;
+     *  ThreadState::iqOccupancyWindow / ::missWindow). */
+    static constexpr std::uint32_t kIqWindow = kPolicyWindowCycles;
     std::array<std::uint32_t, kIqWindow> iqSamples{};  ///< Ring buffer.
     std::uint32_t iqSampleAt = 0;   ///< Next ring slot to overwrite.
     std::uint32_t iqWindowSum = 0;  ///< Running sum of the ring.
 
-    /**
-     * Record this cycle's IQ-occupancy sample into the trailing
-     * window. Called exactly once per cycle, at the end of
-     * Simulator::step(), so every policy consultation within a cycle
-     * sees the same window value.
-     */
-    void sampleIqWindow();
+    /** Trailing outstanding-L1-load-miss window, same length and
+     *  sampling points as the IQ window (ThreadState::missWindow). */
+    std::array<std::uint32_t, kIqWindow> missSamples{};
+    std::uint32_t missSampleAt = 0;
+    std::uint32_t missWindowSum = 0;
 
     /**
-     * Advance the IQ-occupancy window by @p n cycles in O(min(n, 64)):
-     * byte-identical to calling sampleIqWindow() n times with an
-     * unchanging iq.size() — which is exactly the situation during a
-     * quiescent fast-forwarded span (no dispatch, no issue).
+     * Uniformity tracker for the miss window
+     * (ThreadState::missWindowUniform): missSlotsAtCur counts the ring
+     * slots equal to missCountedFor, which sampleWindows() keeps
+     * synced to perceived.outstanding(). The sum alone cannot prove
+     * the window is frozen — a mixed ring can coincidentally sum to
+     * outstanding * kIqWindow and still decay as it slides — so the
+     * idle fast-forward stability probe needs the exact slot count.
+     * Derived state: never serialized, recounted by restore().
      */
-    void advanceIqWindow(std::uint64_t n);
+    std::uint32_t missSlotsAtCur = kIqWindow;
+    std::uint32_t missCountedFor = 0;
+
+    /**
+     * Record this cycle's IQ-occupancy and outstanding-miss samples
+     * into the trailing windows. Called exactly once per cycle, at the
+     * end of Simulator::step(), so every policy consultation within a
+     * cycle sees the same window values.
+     */
+    void sampleWindows();
+
+    /**
+     * Advance both trailing windows by @p n cycles in O(min(n, 64)):
+     * byte-identical to calling sampleWindows() n times with an
+     * unchanging iq.size() and outstanding-miss count — which is
+     * exactly the situation during a quiescent fast-forwarded span (no
+     * dispatch, no issue, no fill landing).
+     */
+    void advanceWindows(std::uint64_t n);
 
     /** Register file holding registers of @p cls. */
     RegFile &file(RegClass cls)

@@ -638,9 +638,18 @@ Simulator::quiescent()
 
     // Front end, consulted on the same ThreadStates the real stages
     // would see. An eligible thread *vetoed* by a gating policy does
-    // not break quiescence: mayFetch()/shouldFlush() read only
-    // outstandingMisses, which cannot change without a completion
-    // event — and any completion ends the span.
+    // not break quiescence — but only while the veto is *stable*
+    // (FetchPolicy::vetoStable): occupancies and outstandingMisses are
+    // frozen across an idle span, but the trailing windows keep
+    // evolving, so a verdict that reads them (the adaptive policy's)
+    // can flip mid-span with no other state change. An unstable veto
+    // breaks quiescence outright: the cycle is stepped normally, and
+    // within at most kPolicyWindowCycles stepped cycles the window
+    // saturates and the veto becomes stable. Crucially the unstable
+    // branch must NOT peek at the thread's next instruction — the
+    // stepping fetch stage never consults the trace of a vetoed
+    // thread, and nextInst's lookahead caching would desynchronize the
+    // trace-source state from the stepped run's.
     const auto &threads = snapshotThreads();
     for (const ThreadState &t : threads) {
         Context &ctx = *contexts_[t.tid];
@@ -650,7 +659,12 @@ Simulator::quiescent()
             if (canDispatch(ctx))
                 return false;
         }
-        if (t.fetchEligible && fetchPolicy_->mayFetch(t)) {
+        if (t.fetchEligible) {
+            if (!fetchPolicy_->mayFetch(t)) {
+                if (!fetchPolicy_->vetoStable(t))
+                    return false;
+                continue;
+            }
             // An eligible thread still fetches nothing when the next
             // instruction is a conditional branch beyond the control
             // speculation limit — and unresolvedBranches cannot drop
@@ -709,7 +723,7 @@ Simulator::idleStepStats()
     accountSlots(Unit::AP, orderAp_, cfg_.apUnits);
     accountSlots(Unit::EP, orderEp_, cfg_.epUnits);
     for (auto &ctxp : contexts_)
-        ctxp->sampleIqWindow();
+        ctxp->sampleWindows();
     fetchPolicy_->endCycle();
     issuePolicy_->endCycle();
     now_ += 1;
@@ -796,7 +810,7 @@ Simulator::trySkipIdle(std::uint64_t max_cycles)
                 }
             }
             for (auto &ctxp : contexts_)
-                ctxp->advanceIqWindow(bulk);
+                ctxp->advanceWindows(bulk);
             fetchPolicy_->skipCycles(bulk);
             issuePolicy_->skipCycles(bulk);
             now_ += bulk;
@@ -882,9 +896,9 @@ Simulator::stepImpl()
     graduateStage();
     mark(Stage::Graduate);
     // One windowed-statistics sample per cycle, after every stage, so
-    // all of next cycle's policy consultations see the same window.
+    // all of next cycle's policy consultations see the same windows.
     for (auto &ctxp : contexts_)
-        ctxp->sampleIqWindow();
+        ctxp->sampleWindows();
     // One rotation step per cycle, matching the historical rrIssue_/
     // rrDispatch_/rrFetch_ counters this layer replaced.
     fetchPolicy_->endCycle();
@@ -943,6 +957,7 @@ Simulator::resetStats()
     skipEvents_ = 0;
     mem_.resetStats(now_);
     for (auto &ctxp : contexts_) {
+        ctxp->graduatedBase = ctxp->graduated;
         ctxp->perceived.resetStats();
         ctxp->predictor->resetStats();
         // Interval boundary: conservatively invalidate the cached
@@ -951,6 +966,67 @@ Simulator::resetStats()
     }
     profile_.reset();
     lastGraduation_ = now_;
+}
+
+void
+computeQosMetrics(const std::vector<std::uint64_t> &insts,
+                  const std::vector<std::uint32_t> &weights,
+                  std::uint64_t cycles, RunResult &r)
+{
+    MTDAE_ASSERT(insts.size() == weights.size(),
+                 "per-thread inst and weight vectors must match");
+    const std::size_t n = insts.size();
+    r.threadInsts = insts;
+    r.threadSlowdown.assign(n, 0.0);
+    r.weightedSpeedup = 0.0;
+    r.fairnessHmean = 0.0;
+    r.fairnessMaxMin = 0.0;
+
+    std::uint64_t total = 0;
+    std::uint64_t sum_w = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += insts[i];
+        sum_w += weights[i];
+    }
+    if (n == 0 || total == 0)
+        return;
+
+    if (cycles) {
+        double ws = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            ws += double(weights[i]) * double(insts[i]) / double(cycles);
+        r.weightedSpeedup = ws / double(sum_w);
+    }
+
+    // Normalized progress x_i = (insts_i / total) / (w_i / sum_w):
+    // 1.0 when the thread made exactly its weighted fair share of the
+    // interval's progress. slowdown_i is its reciprocal.
+    bool starved = false;
+    bool first = true;
+    double inv_sum = 0.0;
+    double x_min = 0.0;
+    double x_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double share = double(weights[i]) / double(sum_w);
+        if (insts[i] == 0) {
+            starved = true;
+            continue;
+        }
+        const double x =
+            (double(insts[i]) / double(total)) / share;
+        inv_sum += 1.0 / x;
+        if (first || x < x_min)
+            x_min = x;
+        if (first || x > x_max)
+            x_max = x;
+        first = false;
+        r.threadSlowdown[i] = share * double(total) / double(insts[i]);
+    }
+    if (!starved && inv_sum > 0.0)
+        r.fairnessHmean = double(n) / inv_sum;
+    if (starved)
+        x_min = 0.0;
+    r.fairnessMaxMin = x_max > 0.0 ? x_min / x_max : 0.0;
 }
 
 RunResult
@@ -995,6 +1071,16 @@ Simulator::snapshot() const
     r.cyclesSkipped = cyclesSkipped_;
     r.skipEvents = skipEvents_;
     r.profile = profile_;
+
+    std::vector<std::uint64_t> thread_insts;
+    std::vector<std::uint32_t> thread_weights;
+    thread_insts.reserve(contexts_.size());
+    thread_weights.reserve(contexts_.size());
+    for (const auto &ctxp : contexts_) {
+        thread_insts.push_back(ctxp->graduated - ctxp->graduatedBase);
+        thread_weights.push_back(cfg_.threadWeight(ctxp->tid));
+    }
+    computeQosMetrics(thread_insts, thread_weights, r.cycles, r);
     return r;
 }
 

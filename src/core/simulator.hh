@@ -93,7 +93,45 @@ struct RunResult
      *  was in force; wall-clock measurement, never part of any
      *  byte-identity comparison. */
     StageProfile profile;
+
+    // --- Per-thread QoS / fairness metrics (docs/POLICIES.md) --------
+    /** Instructions each thread graduated in the interval (indexed by
+     *  tid; insts == sum of this vector). */
+    std::vector<std::uint64_t> threadInsts;
+    /**
+     * Per-thread slowdown relative to the thread's weighted fair share:
+     * (w_i / sum_w) * total_insts / insts_i. Exactly 1.0 for every
+     * thread when progress is proportional to weight; > 1 for threads
+     * receiving less than their share; 0 when the thread graduated
+     * nothing (no meaningful slowdown is defined).
+     */
+    std::vector<double> threadSlowdown;
+    /** Weight-averaged per-thread IPC: sum(w_i * insts_i / cycles) /
+     *  sum_w. Equals ipc / numThreads-mean under uniform weights. */
+    double weightedSpeedup = 0.0;
+    /**
+     * Harmonic mean of the per-thread normalized progress x_i =
+     * (insts_i / total_insts) / (w_i / sum_w). 1.0 at perfectly
+     * weight-proportional progress, pulled toward 0 by any starved
+     * thread; exactly 0 when some thread graduated nothing.
+     */
+    double fairnessHmean = 0.0;
+    /** min(x_i) / max(x_i) over the same normalized progress: the
+     *  max-min fairness ratio in [0, 1]. */
+    double fairnessMaxMin = 0.0;
 };
+
+/**
+ * Compute the QoS metrics above from per-thread interval instruction
+ * counts, per-thread weights (same length) and the interval cycle
+ * count, filling RunResult::threadInsts, ::threadSlowdown,
+ * ::weightedSpeedup, ::fairnessHmean and ::fairnessMaxMin of @p r.
+ * Free function so tests can check the arithmetic against hand-computed
+ * values without running a simulation.
+ */
+void computeQosMetrics(const std::vector<std::uint64_t> &insts,
+                       const std::vector<std::uint32_t> &weights,
+                       std::uint64_t cycles, RunResult &r);
 
 /**
  * The simulated processor. Owns the memory system and one Context per

@@ -19,6 +19,10 @@ serializeConfig(const SimConfig &cfg, ByteWriter &w)
     w.u32(cfg.dispatchWidth);
     w.u8(std::uint8_t(cfg.fetchPolicy));
     w.u8(std::uint8_t(cfg.issuePolicy));
+    w.u64(cfg.threadWeights.size());
+    for (const std::uint32_t tw : cfg.threadWeights)
+        w.u32(tw);
+    w.u32(cfg.adaptiveMissThreshold);
     w.u32(cfg.maxUnresolvedBranches);
     w.u32(cfg.redirectPenalty);
     w.u32(cfg.bhtEntries);

@@ -234,6 +234,16 @@ knobs()
              return parsePolicy(v, c.issuePolicy) &&
                     policyIsIssue(c.issuePolicy);
          }}},
+        {"thread-weights", Knob{[](SimConfig &c, const std::string &v) {
+             std::string err;
+             if (!parseU32List(v, c.threadWeights, err))
+                 return false;
+             for (const std::uint32_t w : c.threadWeights)
+                 if (w == 0)
+                     return false;
+             return true;
+         }}},
+        {"adaptive-threshold", u32(&SimConfig::adaptiveMissThreshold)},
         {"max-branches", u32(&SimConfig::maxUnresolvedBranches)},
         {"redirect-penalty", u32(&SimConfig::redirectPenalty)},
         {"bht-entries", u32(&SimConfig::bhtEntries)},
@@ -1046,6 +1056,97 @@ expAblateGating(const Options &opts, std::ostream &err)
 }
 
 /**
+ * The QoS grid: thread-weight vectors crossed with arbitration-policy
+ * pairs and L2 size on the finite L2 + DRAM backend, reporting the
+ * fairness metrics (weighted speedup, harmonic-mean and max-min
+ * fairness, per-thread slowdowns) alongside raw throughput — the
+ * evidence for whether a weighted or adaptive policy actually converts
+ * priority into proportional progress. `--latencies` overrides the
+ * swept L2 sizes in KiB (the ablate-gating convention); `--threads`
+ * overrides the thread count (first value only; the weight vectors
+ * tile across it).
+ */
+ResultSet
+expAblateQos(const Options &opts, std::ostream &err)
+{
+    ResultSet rs;
+    rs.name = "ablate_qos";
+    rs.header = {"weights",    "fetch_policy", "issue_policy",
+                 "l2_kb",      "ipc",          "wspeedup",
+                 "fair_hmean", "fair_maxmin",  "slow_t0",
+                 "slow_max"};
+    const std::uint64_t insts = budget(opts, 60000);
+    const std::uint32_t n =
+        opts.threads.empty() ? 4 : opts.threads.front();
+    const std::vector<std::vector<std::uint32_t>> weight_vectors = {
+        {1, 1}, {4, 1}, {16, 1}};
+    const std::vector<std::pair<PolicyKind, PolicyKind>> pairs = {
+        {PolicyKind::Icount, PolicyKind::RoundRobin},
+        {PolicyKind::Weighted, PolicyKind::Weighted},
+        {PolicyKind::Adaptive, PolicyKind::RoundRobin},
+        {PolicyKind::Adaptive, PolicyKind::Weighted},
+    };
+    const auto sizes_kb = sweepOr(opts.latencies, {256, 1024});
+    // ':'-separated so the label survives the CSV untouched.
+    const auto wlabel = [](const std::vector<std::uint32_t> &ws) {
+        std::string s;
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            if (i)
+                s += ':';
+            s += std::to_string(ws[i]);
+        }
+        return s;
+    };
+    SweepSpec spec;
+    for (const auto &ws : weight_vectors) {
+        for (const auto &[fp, ip] : pairs) {
+            for (const std::uint32_t kb : sizes_kb) {
+                SimConfig cfg = paperConfig(n, true, 16,
+                                            opts.scaleQueues);
+                cfg.perfectL2 = false;
+                std::string error;
+                if (!applyOverrides(cfg, opts, error))
+                    MTDAE_FATAL("bad override: ", error);
+                cfg.l2Bytes = kb * 1024;
+                cfg.fetchPolicy = fp;
+                cfg.issuePolicy = ip;
+                cfg.threadWeights = ws;
+                spec.addSuiteMix(cfg, insts * n,
+                                 wlabel(ws) + " " +
+                                     std::string(policyName(fp)) + "/" +
+                                     policyName(ip) + " L2 " +
+                                     std::to_string(kb) + "KB");
+            }
+        }
+    }
+    const auto results = runSweep(spec, opts, err);
+    std::size_t k = 0;
+    for (const auto &ws : weight_vectors) {
+        for (const auto &[fp, ip] : pairs) {
+            for (const std::uint32_t kb : sizes_kb) {
+                const RunResult &r = results.at(k++);
+                double slow_max = 0.0;
+                for (const double s : r.threadSlowdown)
+                    if (s > slow_max)
+                        slow_max = s;
+                rs.rows.push_back(
+                    {wlabel(ws), policyName(fp), policyName(ip),
+                     std::to_string(kb), fmt(r.ipc),
+                     fmt(r.weightedSpeedup), fmt(r.fairnessHmean),
+                     fmt(r.fairnessMaxMin),
+                     fmt(r.threadSlowdown.empty()
+                             ? 0.0
+                             : r.threadSlowdown.front()),
+                     fmt(slow_max)});
+            }
+        }
+    }
+    MTDAE_ASSERT(k == results.size(),
+                 "row formatter out of sync with the sweep grid");
+    return rs;
+}
+
+/**
  * The warm-start fan-out grid: per thread count, three points that
  * differ only in measure budget, all on one explicit seed stream so
  * the group shares a warmup prefix (SimJob::prefixKey()). With
@@ -1213,6 +1314,9 @@ registry()
         {{"ablate-gating",
           "fetch gating (stall/flush) x L2 size on the DRAM backend"},
          expAblateGating},
+        {{"ablate-qos",
+          "thread-weight x policy x L2 fairness grid (QoS metrics)"},
+         expAblateQos},
         {{"ablate-checkpoint",
           "warm-start fan-out grid (shared warmup checkpoints)"},
          expAblateCheckpoint},
@@ -1524,17 +1628,31 @@ printHelp(std::ostream &os)
           " ablate-l2)\n"
           "  --fetch-policy=P  thread fetch arbitration: icount"
           " (default),\n"
-          "                    round-robin, brcount, misscount, or the\n"
+          "                    round-robin, brcount, misscount,"
+          " weighted, the\n"
           "                    gating policies stall, flush (suspend"
           " fetch on\n"
           "                    an outstanding L1 load miss; flush also\n"
-          "                    squashes the fetch buffer for replay)\n"
+          "                    squashes the fetch buffer for replay),"
+          " or\n"
+          "                    adaptive (stall-style gating only past"
+          " the\n"
+          "                    trailing-window miss threshold)\n"
           "  --issue-policy=P  dispatch/issue arbitration: round-robin"
           " (default),\n"
-          "                    icount, brcount, misscount, or split\n"
+          "                    icount, brcount, misscount, weighted, or"
+          " split\n"
           "                    (per-unit: AP by misscount, EP by"
           " windowed\n"
           "                    IQ occupancy)\n"
+          "  --thread-weights=W  comma-listed QoS priority weights,"
+          " tiled\n"
+          "                    across threads (default all 1; consumed"
+          " by the\n"
+          "                    weighted policies and fairness metrics)\n"
+          "  --adaptive-threshold=T  adaptive gating engages once the\n"
+          "                    64-cycle miss window reaches T*64"
+          " (default 1)\n"
           "  --jobs=N          sweep worker threads (default: hardware"
           " concurrency);\n"
           "                    results are identical at any N\n"
@@ -1578,6 +1696,8 @@ printHelp(std::ostream &os)
           "  mtdae ablate-l2 --threads-list=4 --json\n"
           "  mtdae ablate-policy --threads-list=1,4 --latencies=64\n"
           "  mtdae ablate-gating --threads-list=2,4 --latencies=64\n"
+          "  mtdae ablate-qos --thread-weights=4,1"
+          " --latencies=256\n"
           "  mtdae ablate-checkpoint --warmup-insts=20000"
           " --warm-start=1\n"
           "  mtdae fig5 --issue-policy=misscount --quiet\n"

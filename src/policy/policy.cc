@@ -54,6 +54,31 @@ class RotatingOrder
                              });
     }
 
+    /**
+     * Rotation refined by @p key divided by the thread's priority
+     * weight, fewest-first: a * w(b) < b * w(a) compares the exact
+     * rationals key/weight without division (both factors fit u32, so
+     * the u64 products cannot overflow). Ties — including every pair
+     * on a uniform-weight machine with equal keys — keep rotation
+     * order, so weight vectors of all ones reduce to the unweighted
+     * sort.
+     */
+    template <typename KeyFn>
+    void
+    rotationSortedWeighted(const std::vector<ThreadState> &threads,
+                           KeyFn key, std::vector<ThreadId> &out) const
+    {
+        rotation(out);
+        if (out.size() > 1)
+            std::stable_sort(
+                out.begin(), out.end(), [&](ThreadId a, ThreadId b) {
+                    const ThreadState &ta = threads[a];
+                    const ThreadState &tb = threads[b];
+                    return std::uint64_t(key(ta)) * tb.weight <
+                           std::uint64_t(key(tb)) * ta.weight;
+                });
+    }
+
     void advance() { rr_ = (rr_ + 1) % nthreads_; }
 
     /** Advance @p n times in O(1): n modular increments collapse. */
@@ -134,7 +159,9 @@ keysFor(PolicyKind kind)
       case PolicyKind::Stall:
       case PolicyKind::Flush:
       case PolicyKind::Split:
-        break;  // gating / per-unit policies have their own classes
+      case PolicyKind::Adaptive:
+      case PolicyKind::Weighted:
+        break;  // gating/per-unit/adaptive/weighted have own classes
     }
     MTDAE_PANIC("keysFor() on the non-keyed policy '",
                 policyName(kind), "'");
@@ -326,6 +353,165 @@ class SplitArbitrationPolicy final : public ArbitrationPolicy
     RotatingOrder rot_;
 };
 
+/**
+ * The phase-reactive fetch policy (ROADMAP item 4): both its gating
+ * and its ranking switch on the trailing outstanding-miss window.
+ *
+ *  - Gating: a thread is vetoed (STALL-style, never flushed) only
+ *    while it has an outstanding L1 load miss AND its miss window has
+ *    reached threshold * kPolicyWindowCycles — i.e. it has averaged at
+ *    least `threshold` outstanding misses over the whole trailing
+ *    window. A single cold miss in an otherwise-hitting phase never
+ *    gates; sustained miss pressure does.
+ *  - Ranking: when every thread's miss window is zero (perceived
+ *    memory latency near zero — decoupling is hiding everything),
+ *    ranking degenerates to pure round-robin; the moment any window is
+ *    non-zero the policy switches to the ICOUNT key (fetch-buffer
+ *    occupancy), which balances the front end under contention.
+ *
+ * Both decisions are pure functions of the ThreadState snapshots, so
+ * the determinism contract holds unchanged. The veto is *unstable*
+ * while a gated-or-gateable thread's window is still converging
+ * (vetoStable() below): the idle fast-forward engine then steps those
+ * cycles instead of skipping them, which is what keeps --cycle-skip
+ * byte-identical for this policy.
+ */
+class AdaptiveFetchPolicy final : public FetchPolicy
+{
+  public:
+    AdaptiveFetchPolicy(std::uint32_t threshold, std::uint32_t nthreads)
+        : threshold_(threshold), rot_(nthreads)
+    {}
+
+    std::string_view
+    name() const override
+    {
+        return policyName(PolicyKind::Adaptive);
+    }
+
+    void
+    fetchOrder(const std::vector<ThreadState> &threads,
+               std::vector<ThreadId> &out) override
+    {
+        bool memory_phase = false;
+        for (const ThreadState &t : threads)
+            memory_phase |= t.missWindow != 0;
+        if (memory_phase)
+            rot_.rotationSortedBy(threads, keyFetchBuf, out);
+        else
+            rot_.rotation(out);
+    }
+
+    bool
+    mayFetch(const ThreadState &t) const override
+    {
+        return t.outstandingMisses == 0 ||
+               t.missWindow < threshold_ * kPolicyWindowCycles;
+    }
+
+    bool
+    vetoStable(const ThreadState &t) const override
+    {
+        // With no outstanding miss the gate cannot engage no matter
+        // where the window moves; otherwise the verdict is frozen only
+        // once every window slot equals the (frozen) current value, so
+        // further samples of it change nothing. A sum comparison is
+        // NOT enough: a mixed ring can sum to outstanding * window and
+        // still decay below the threshold as it slides.
+        return t.outstandingMisses == 0 || t.missWindowUniform;
+    }
+
+    void endCycle() override { rot_.advance(); }
+    void skipCycles(std::uint64_t n) override { rot_.skip(n); }
+
+    void save(ByteWriter &w) const override { w.u32(rot_.position()); }
+    void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
+
+  private:
+    std::uint32_t threshold_;
+    RotatingOrder rot_;
+};
+
+/**
+ * Weighted fetch: ICOUNT with each thread's fetch-buffer occupancy
+ * divided by its priority weight (exactly, via cross-multiplication).
+ * A weight-4 foreground thread gets a port as long as it holds fewer
+ * than 4x the buffered instructions of a weight-1 background thread;
+ * uniform weights reduce to plain icount. Pure ordering — no gating.
+ */
+class WeightedFetchPolicy final : public FetchPolicy
+{
+  public:
+    explicit WeightedFetchPolicy(std::uint32_t nthreads) : rot_(nthreads)
+    {}
+
+    std::string_view
+    name() const override
+    {
+        return policyName(PolicyKind::Weighted);
+    }
+
+    void
+    fetchOrder(const std::vector<ThreadState> &threads,
+               std::vector<ThreadId> &out) override
+    {
+        rot_.rotationSortedWeighted(threads, keyFetchBuf, out);
+    }
+
+    void endCycle() override { rot_.advance(); }
+    void skipCycles(std::uint64_t n) override { rot_.skip(n); }
+
+    void save(ByteWriter &w) const override { w.u32(rot_.position()); }
+    void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
+
+  private:
+    RotatingOrder rot_;
+};
+
+/**
+ * Weighted dispatch/issue: back-end ICOUNT (front-end occupancy) with
+ * the same weight division, on dispatch and both issue units alike. A
+ * heavy thread may clog the shared stages proportionally more before
+ * yielding its turn.
+ */
+class WeightedArbitrationPolicy final : public ArbitrationPolicy
+{
+  public:
+    explicit WeightedArbitrationPolicy(std::uint32_t nthreads)
+        : rot_(nthreads)
+    {}
+
+    std::string_view
+    name() const override
+    {
+        return policyName(PolicyKind::Weighted);
+    }
+
+    void
+    dispatchOrder(const std::vector<ThreadState> &threads,
+                  std::vector<ThreadId> &out) override
+    {
+        rot_.rotationSortedWeighted(threads, keyFrontEnd, out);
+    }
+
+    void
+    issueOrder(Unit unit, const std::vector<ThreadState> &threads,
+               std::vector<ThreadId> &out) override
+    {
+        (void)unit;
+        rot_.rotationSortedWeighted(threads, keyFrontEnd, out);
+    }
+
+    void endCycle() override { rot_.advance(); }
+    void skipCycles(std::uint64_t n) override { rot_.skip(n); }
+
+    void save(ByteWriter &w) const override { w.u32(rot_.position()); }
+    void restore(ByteReader &r) override { rot_.setPosition(r.u32()); }
+
+  private:
+    RotatingOrder rot_;
+};
+
 } // namespace
 
 std::unique_ptr<FetchPolicy>
@@ -339,6 +525,11 @@ makeFetchPolicy(const SimConfig &cfg)
         cfg.fetchPolicy == PolicyKind::Flush)
         return std::make_unique<GatingFetchPolicy>(cfg.fetchPolicy,
                                                    cfg.numThreads);
+    if (cfg.fetchPolicy == PolicyKind::Adaptive)
+        return std::make_unique<AdaptiveFetchPolicy>(
+            cfg.adaptiveMissThreshold, cfg.numThreads);
+    if (cfg.fetchPolicy == PolicyKind::Weighted)
+        return std::make_unique<WeightedFetchPolicy>(cfg.numThreads);
     return std::make_unique<KeyedFetchPolicy>(cfg.fetchPolicy,
                                               cfg.numThreads);
 }
@@ -352,6 +543,9 @@ makeArbitrationPolicy(const SimConfig &cfg)
                  "should have rejected it)");
     if (cfg.issuePolicy == PolicyKind::Split)
         return std::make_unique<SplitArbitrationPolicy>(cfg.numThreads);
+    if (cfg.issuePolicy == PolicyKind::Weighted)
+        return std::make_unique<WeightedArbitrationPolicy>(
+            cfg.numThreads);
     return std::make_unique<KeyedArbitrationPolicy>(cfg.issuePolicy,
                                                     cfg.numThreads);
 }

@@ -49,6 +49,17 @@ class ByteWriter;
 class ByteReader;
 
 /**
+ * Length, in cycles, of every trailing-window ThreadState statistic
+ * (iqOccupancyWindow, missWindow). One shared constant so a policy can
+ * reason about saturation: a value constant for a full window yields a
+ * sum of `current_value * kPolicyWindowCycles`. Note the converse does
+ * NOT hold — a mixed sample ring can coincidentally produce the same
+ * sum — which is why ThreadState carries an explicit
+ * missWindowUniform flag for stability reasoning.
+ */
+inline constexpr std::uint32_t kPolicyWindowCycles = 64;
+
+/**
  * Read-only per-context snapshot handed to policies — the only state a
  * policy may base its ordering or gating on. Built by
  * Context::policyState() at the start of each consulting pipeline
@@ -99,6 +110,32 @@ struct ThreadState
      * consulting stages and excludes the current cycle.
      */
     std::uint32_t iqOccupancyWindow = 0;
+    /**
+     * Sum of the per-cycle outstanding-L1-load-miss samples over the
+     * trailing kPolicyWindowCycles (64) cycles — the adaptive policy's
+     * phase-detection key. Sampled at the same point as
+     * iqOccupancyWindow (end of Simulator::step()), so the two windows
+     * always cover the same cycles.
+     */
+    std::uint32_t missWindow = 0;
+    /**
+     * True when every sample in the trailing miss window equals the
+     * current outstandingMisses — i.e. the window has genuinely
+     * saturated and cannot move while outstandingMisses stays frozen.
+     * The sum alone cannot establish this (a mixed ring can
+     * coincidentally sum to outstandingMisses * kPolicyWindowCycles
+     * and still decay as it slides), so policies whose vetoStable()
+     * reasons about window freezing must consult this flag, never the
+     * sum.
+     */
+    bool missWindowUniform = false;
+    /**
+     * The thread's QoS priority weight (SimConfig::threadWeight(tid)):
+     * constant for the simulation's lifetime, >= 1, consumed by the
+     * Weighted policies and the fairness metrics. 1 on uniform
+     * machines.
+     */
+    std::uint32_t weight = 1;
 
     /**
      * True when the thread may fetch this cycle: not gated on a
@@ -170,6 +207,27 @@ class FetchPolicy
     {
         (void)t;
         return false;
+    }
+
+    /**
+     * Is the mayFetch() verdict for @p t guaranteed to hold for as
+     * long as the thread's *non-window* observable state (occupancies,
+     * outstandingMisses) stays frozen? The idle fast-forward engine
+     * (Simulator::trySkipIdle) may only treat a vetoed thread as
+     * dormant when its veto is stable: trailing windows keep evolving
+     * through an idle span, so a verdict that reads them can flip
+     * mid-span even though the machine does nothing. A policy whose
+     * mayFetch() ignores the window fields returns true
+     * unconditionally (the default); the adaptive policy returns true
+     * only once the miss window is uniformly frozen
+     * (ThreadState::missWindowUniform — the sum test is insufficient).
+     * Must be a pure function of @p t.
+     */
+    virtual bool
+    vetoStable(const ThreadState &t) const
+    {
+        (void)t;
+        return true;
     }
 
     /** Advance per-cycle state (rotations); called once per cycle. */

@@ -282,6 +282,11 @@ expectSameResult(const RunResult &a, const RunResult &b,
     EXPECT_EQ(a.ap.counts, b.ap.counts) << what;
     EXPECT_EQ(a.ep.counts, b.ep.counts) << what;
     EXPECT_EQ(a.mispredictRate, b.mispredictRate) << what;
+    EXPECT_EQ(a.threadInsts, b.threadInsts) << what;
+    EXPECT_EQ(a.threadSlowdown, b.threadSlowdown) << what;
+    EXPECT_EQ(a.weightedSpeedup, b.weightedSpeedup) << what;
+    EXPECT_EQ(a.fairnessHmean, b.fairnessHmean) << what;
+    EXPECT_EQ(a.fairnessMaxMin, b.fairnessMaxMin) << what;
 }
 
 /** A grid whose points share warmup prefixes within seed-stream groups. */
@@ -344,25 +349,6 @@ TEST(WarmStartSweep, AllJobCountsAndModesAreIdentical)
 
 // --- CLI: the golden figures, warm-started -----------------------------
 
-int
-cli(const std::vector<std::string> &args, std::string &out)
-{
-    std::ostringstream os, es;
-    const int rc = cli::runCli(args, os, es);
-    out = os.str();
-    return rc;
-}
-
-std::string
-slurp(const std::string &path)
-{
-    std::ifstream is(path, std::ios::binary);
-    EXPECT_TRUE(is.good()) << "cannot open " << path;
-    std::ostringstream os;
-    os << is.rdbuf();
-    return os.str();
-}
-
 TEST(CheckpointGolden, WarmStartedFiguresReproduceGoldenCsvs)
 {
     // tests/golden/*.csv predate the checkpoint engine. Rerunning the
@@ -386,9 +372,9 @@ TEST(CheckpointGolden, WarmStartedFiguresReproduceGoldenCsvs)
                     {"--insts=2000", "--warmup-insts=500",
                      "--warm-start=1", "--quiet", "--out=" + out_dir});
         std::string out;
-        ASSERT_EQ(cli(args, out), 0) << name;
-        const std::string got = slurp(out_dir + "/" + name + ".csv");
-        const std::string want = slurp(std::string(MTDAE_SOURCE_DIR) +
+        ASSERT_EQ(test::cli(args, out), 0) << name;
+        const std::string got = test::slurp(out_dir + "/" + name + ".csv");
+        const std::string want = test::slurp(std::string(MTDAE_SOURCE_DIR) +
                                        "/tests/golden/" + name + ".csv");
         ASSERT_FALSE(want.empty()) << name;
         EXPECT_EQ(got, want)
@@ -410,10 +396,10 @@ TEST(CheckpointGolden, AblateCheckpointWarmAndColdAreByteIdentical)
     cold.insert(cold.end(), {"--warm-start=0", "--jobs=1",
                              "--out=" + cold_dir});
     std::string out;
-    ASSERT_EQ(cli(warm, out), 0);
-    ASSERT_EQ(cli(cold, out), 0);
-    const std::string w = slurp(warm_dir + "/ablate_checkpoint.csv");
-    const std::string c = slurp(cold_dir + "/ablate_checkpoint.csv");
+    ASSERT_EQ(test::cli(warm, out), 0);
+    ASSERT_EQ(test::cli(cold, out), 0);
+    const std::string w = test::slurp(warm_dir + "/ablate_checkpoint.csv");
+    const std::string c = test::slurp(cold_dir + "/ablate_checkpoint.csv");
     ASSERT_FALSE(w.empty());
     EXPECT_EQ(w, c);
 }
@@ -458,10 +444,10 @@ TEST(CheckpointDsl, AblateDslWarmAndColdAreByteIdentical)
     cold.insert(cold.end(),
                 {"--warm-start=0", "--jobs=1", "--out=" + cold_dir});
     std::string out;
-    ASSERT_EQ(cli(warm, out), 0);
-    ASSERT_EQ(cli(cold, out), 0);
-    const std::string w = slurp(warm_dir + "/ablate_dsl.csv");
-    const std::string c = slurp(cold_dir + "/ablate_dsl.csv");
+    ASSERT_EQ(test::cli(warm, out), 0);
+    ASSERT_EQ(test::cli(cold, out), 0);
+    const std::string w = test::slurp(warm_dir + "/ablate_dsl.csv");
+    const std::string c = test::slurp(cold_dir + "/ablate_dsl.csv");
     ASSERT_FALSE(w.empty());
     EXPECT_EQ(w, c);
 }

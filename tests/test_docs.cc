@@ -153,6 +153,34 @@ TEST(DocDrift, ReadmeDocumentsTheGatingLayer)
     EXPECT_NE(text.find("docs/POLICIES.md"), std::string::npos);
 }
 
+TEST(DocDrift, ReadmeDocumentsTheQosLayer)
+{
+    // The QoS tentpole's user surface: the weight and threshold flags,
+    // the policy names, and the benchmark script. (ablate-qos itself
+    // is locked by the registry <-> experiment-table tests above.)
+    const std::string text = readmeText();
+    EXPECT_NE(text.find("--thread-weights"), std::string::npos);
+    EXPECT_NE(text.find("--adaptive-threshold"), std::string::npos);
+    EXPECT_NE(text.find("`weighted`"), std::string::npos);
+    EXPECT_NE(text.find("`adaptive`"), std::string::npos);
+    EXPECT_NE(text.find("fair_hmean"), std::string::npos);
+    EXPECT_NE(text.find("bench_qos.sh"), std::string::npos);
+}
+
+TEST(DocDrift, PoliciesDocCoversTheQosAndStabilityContract)
+{
+    // docs/POLICIES.md must keep the QoS section and the veto-stability
+    // contract findable: these document the invariants test_qos.cc and
+    // the idle fast-forward byte-identity suites enforce.
+    const std::string text = policiesText();
+    EXPECT_NE(text.find("## QoS weights and fairness metrics"),
+              std::string::npos);
+    EXPECT_NE(text.find("vetoStable"), std::string::npos);
+    EXPECT_NE(text.find("missWindowUniform"), std::string::npos);
+    EXPECT_NE(text.find("--adaptive-threshold"), std::string::npos);
+    EXPECT_NE(text.find("fair_maxmin"), std::string::npos);
+}
+
 TEST(DocDrift, PoliciesDocHasAReferenceTable)
 {
     EXPECT_FALSE(policiesTableNames().empty())

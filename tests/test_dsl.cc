@@ -34,16 +34,6 @@ kernelPath(const std::string &name)
            ".mk";
 }
 
-std::string
-slurp(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    EXPECT_TRUE(in.good()) << "missing " << path;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return ss.str();
-}
-
 /** Field-by-field structural equality of two kernels. */
 void
 expectKernelEq(const Kernel &a, const Kernel &b)
@@ -112,7 +102,7 @@ expectResultEq(const RunResult &a, const RunResult &b)
 class DslGoldenTest : public ::testing::TestWithParam<std::string>
 {
   protected:
-    void SetUp() override { text_ = slurp(kernelPath(GetParam())); }
+    void SetUp() override { text_ = test::slurp(kernelPath(GetParam())); }
     std::string text_;
 };
 
@@ -181,7 +171,7 @@ INSTANTIATE_TEST_SUITE_P(AllBuiltins, DslGoldenTest,
 
 TEST(DslCorpus, PointerChaseUsesChainStream)
 {
-    const Kernel k = dsl::compileKernel(slurp(kernelPath("pointer_chase")));
+    const Kernel k = dsl::compileKernel(test::slurp(kernelPath("pointer_chase")));
     EXPECT_EQ(k.name, "pointer_chase");
     ASSERT_EQ(k.streams.size(), 1u);
     EXPECT_EQ(k.streams[0].kind, StreamSpec::Kind::Chain);
@@ -195,7 +185,7 @@ TEST(DslCorpus, PointerChaseUsesChainStream)
 
 TEST(DslCorpus, HashJoinLoadsFeedTheirOwnAddress)
 {
-    const Kernel k = dsl::compileKernel(slurp(kernelPath("hash_join")));
+    const Kernel k = dsl::compileKernel(test::slurp(kernelPath("hash_join")));
     // The bucket loads write the gather's own index register: a true
     // load-to-address dependence.
     bool self_dep_load = false;
@@ -214,7 +204,7 @@ TEST(DslCorpus, HashJoinLoadsFeedTheirOwnAddress)
 
 TEST(DslCorpus, StencilConditionalsResolveAtCompileTime)
 {
-    const std::string text = slurp(kernelPath("stencil"));
+    const std::string text = test::slurp(kernelPath("stencil"));
     // Default taps=3 takes the else arm: exactly one store.
     const Kernel k3 = dsl::compileKernel(text);
     EXPECT_EQ(k3.mix().stores, 1u);
@@ -237,7 +227,7 @@ TEST(DslCorpus, EveryCorpusKernelValidatesAndRuns)
                            "fpppp",   "wave5", "pointer_chase",
                            "hash_join", "stencil"};
     for (const char *name : names) {
-        auto f = dsl::makeDslFactory(slurp(kernelPath(name)));
+        auto f = dsl::makeDslFactory(test::slurp(kernelPath(name)));
         auto sources = f->make(1, 1);
         ASSERT_EQ(sources.size(), 1u);
         TraceInst inst;
@@ -252,7 +242,7 @@ TEST(DslCorpus, EveryCorpusKernelValidatesAndRuns)
 
 TEST(DslParams, OverrideRescalesTheFootprint)
 {
-    const std::string text = slurp(kernelPath("pointer_chase"));
+    const std::string text = test::slurp(kernelPath("pointer_chase"));
     const Kernel small = dsl::compileKernel(text, {{"footprint", 64 * 1024}});
     EXPECT_EQ(small.streams[0].footprint, 64u * 1024);
     const Kernel more = dsl::compileKernel(text, {{"unroll", 8}});
@@ -261,7 +251,7 @@ TEST(DslParams, OverrideRescalesTheFootprint)
 
 TEST(DslParams, OverridesChangeTheFingerprint)
 {
-    const std::string text = slurp(kernelPath("pointer_chase"));
+    const std::string text = test::slurp(kernelPath("pointer_chase"));
     auto base = dsl::makeDslFactory(text);
     auto scaled = dsl::makeDslFactory(text, {{"footprint", 64 * 1024}});
     EXPECT_NE(base->fingerprint(), scaled->fingerprint());
@@ -272,7 +262,7 @@ TEST(DslParams, OverridesChangeTheFingerprint)
 
 TEST(DslParams, UnknownOverrideIsAnError)
 {
-    const std::string text = slurp(kernelPath("pointer_chase"));
+    const std::string text = test::slurp(kernelPath("pointer_chase"));
     try {
         dsl::compileKernel(text, {{"nope", 1}});
         FAIL() << "expected DslError";
@@ -285,7 +275,7 @@ TEST(DslParams, UnknownOverrideIsAnError)
 
 TEST(DslParams, CompiledParamsReportResolvedValues)
 {
-    const std::string text = slurp(kernelPath("pointer_chase"));
+    const std::string text = test::slurp(kernelPath("pointer_chase"));
     const dsl::CompiledKernel c =
         dsl::compileDsl(text, {{"unroll", 2}});
     ASSERT_EQ(c.params.size(), 3u);
@@ -301,7 +291,7 @@ TEST(DslParams, CompiledParamsReportResolvedValues)
 
 TEST(DslFactory, CloneIsIndistinguishable)
 {
-    const std::string text = slurp(kernelPath("hash_join"));
+    const std::string text = test::slurp(kernelPath("hash_join"));
     auto f = dsl::makeDslFactory(text);
     auto c = f->clone();
     EXPECT_EQ(f->name(), c->name());
@@ -319,8 +309,8 @@ TEST(DslFactory, CloneIsIndistinguishable)
 
 TEST(DslFactory, DistinctKernelNamesGetDistinctSlots)
 {
-    auto a = dsl::makeDslFactory(slurp(kernelPath("pointer_chase")));
-    auto b = dsl::makeDslFactory(slurp(kernelPath("hash_join")));
+    auto a = dsl::makeDslFactory(test::slurp(kernelPath("pointer_chase")));
+    auto b = dsl::makeDslFactory(test::slurp(kernelPath("hash_join")));
     auto sa = a->make(1, 1);
     auto sb = b->make(1, 1);
     TraceInst ia, ib;

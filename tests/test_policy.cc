@@ -48,7 +48,7 @@ using Order = std::vector<ThreadId>;
 
 TEST(PolicyNames, RoundTripAndRejects)
 {
-    EXPECT_EQ(allPolicies().size(), 7u);
+    EXPECT_EQ(allPolicies().size(), 9u);
     for (const PolicyKind k : allPolicies()) {
         PolicyKind parsed;
         ASSERT_TRUE(parsePolicy(policyName(k), parsed)) << policyName(k);
@@ -65,8 +65,8 @@ TEST(PolicyNames, SeamRegistriesPartitionThePolicies)
     // Every policy is valid on at least one seam, the per-seam
     // registries list exactly the policies their predicate admits, and
     // the gating/per-unit policies are confined to their seam.
-    EXPECT_EQ(fetchPolicies().size(), 6u);
-    EXPECT_EQ(issuePolicies().size(), 5u);
+    EXPECT_EQ(fetchPolicies().size(), 8u);
+    EXPECT_EQ(issuePolicies().size(), 6u);
     for (const PolicyKind k : allPolicies()) {
         EXPECT_TRUE(policyIsFetch(k) || policyIsIssue(k))
             << policyName(k);
@@ -447,16 +447,6 @@ TEST(SimulatorPolicy, FlushSquashesTheGatedThreadsBuffer)
     EXPECT_GT(sim.totalGraduated(), 0u);
 }
 
-/** runCli to strings; returns exit code. */
-int
-cli(const std::vector<std::string> &args, std::string &out)
-{
-    std::ostringstream os, es;
-    const int rc = cli::runCli(args, os, es);
-    out = os.str();
-    return rc;
-}
-
 TEST(PolicySweep, JobsOneAndEightAreByteIdenticalPerPolicy)
 {
     // The acceptance bar of the policy layer: every policy (gating
@@ -478,8 +468,8 @@ TEST(PolicySweep, JobsOneAndEightAreByteIdenticalPerPolicy)
         serial.push_back("--jobs=1");
         parallel.push_back("--jobs=8");
         std::string serial_out, parallel_out;
-        ASSERT_EQ(cli(serial, serial_out), 0) << policyName(k);
-        ASSERT_EQ(cli(parallel, parallel_out), 0) << policyName(k);
+        ASSERT_EQ(test::cli(serial, serial_out), 0) << policyName(k);
+        ASSERT_EQ(test::cli(parallel, parallel_out), 0) << policyName(k);
         EXPECT_FALSE(serial_out.empty());
         EXPECT_EQ(serial_out, parallel_out) << policyName(k);
     }
@@ -488,20 +478,20 @@ TEST(PolicySweep, JobsOneAndEightAreByteIdenticalPerPolicy)
 TEST(PolicySweep, AblatePolicyCoversTheFullGrid)
 {
     std::string out;
-    ASSERT_EQ(cli({"ablate-policy", "--insts=1000", "--warmup=200",
+    ASSERT_EQ(test::cli({"ablate-policy", "--insts=1000", "--warmup=200",
                    "--threads-list=1,2", "--quiet", "--json"},
                   out),
               0);
     for (const PolicyKind k : allPolicies())
         EXPECT_NE(out.find(policyName(k)), std::string::npos)
             << policyName(k);
-    // 6 fetch x 5 issue x 2 thread counts = 60 valid grid rows.
+    // 8 fetch x 6 issue x 2 thread counts = 96 valid grid rows.
     std::size_t rows = 0;
     for (std::size_t pos = out.find("\"fetch_policy\"");
          pos != std::string::npos;
          pos = out.find("\"fetch_policy\"", pos + 1))
         rows += 1;
-    EXPECT_EQ(rows, 60u);
+    EXPECT_EQ(rows, 96u);
 }
 
 TEST(PolicySweep, AblateGatingChangesThroughputOnTheFiniteL2)
@@ -536,7 +526,7 @@ TEST(PolicySweep, AblateGatingChangesThroughputOnTheFiniteL2)
 TEST(PolicySweep, AblateGatingCoversItsGrid)
 {
     std::string out;
-    ASSERT_EQ(cli({"ablate-gating", "--insts=1000", "--warmup=200",
+    ASSERT_EQ(test::cli({"ablate-gating", "--insts=1000", "--warmup=200",
                    "--threads-list=2", "--latencies=64", "--quiet",
                    "--json"},
                   out),
@@ -550,16 +540,6 @@ TEST(PolicySweep, AblateGatingCoversItsGrid)
          pos = out.find("\"fetch_policy\"", pos + 1))
         rows += 1;
     EXPECT_EQ(rows, 3u);
-}
-
-std::string
-slurp(const std::string &path)
-{
-    std::ifstream is(path, std::ios::binary);
-    EXPECT_TRUE(is.good()) << "cannot open " << path;
-    std::ostringstream os;
-    os << is.rdbuf();
-    return os.str();
 }
 
 TEST(PolicyGolden, DefaultPoliciesReproducePrePolicyLayerCsvs)
@@ -585,9 +565,9 @@ TEST(PolicyGolden, DefaultPoliciesReproducePrePolicyLayerCsvs)
         args.insert(args.end(), {"--insts=2000", "--warmup=500",
                                  "--quiet", "--out=" + out_dir});
         std::string out;
-        ASSERT_EQ(cli(args, out), 0) << name;
-        const std::string got = slurp(out_dir + "/" + name + ".csv");
-        const std::string want = slurp(std::string(MTDAE_SOURCE_DIR) +
+        ASSERT_EQ(test::cli(args, out), 0) << name;
+        const std::string got = test::slurp(out_dir + "/" + name + ".csv");
+        const std::string want = test::slurp(std::string(MTDAE_SOURCE_DIR) +
                                        "/tests/golden/" + name + ".csv");
         ASSERT_FALSE(want.empty()) << name;
         EXPECT_EQ(got, want)

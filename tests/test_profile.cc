@@ -46,17 +46,6 @@ expectSameSimulation(const RunResult &a, const RunResult &b)
     }
 }
 
-/** Read a whole file (the CSV identity checks). */
-std::string
-slurp(const std::string &path)
-{
-    std::ifstream f(path, std::ios::binary);
-    EXPECT_TRUE(f.good()) << path;
-    std::ostringstream os;
-    os << f.rdbuf();
-    return os.str();
-}
-
 } // namespace
 
 TEST(StageProfile, NamesAndIndexingCoverEveryStage)
@@ -174,8 +163,8 @@ TEST(ProfileCli, CsvOutputByteIdenticalUnderProfile)
     b.push_back("--profile");
     ASSERT_EQ(cli::runCli(a, out, err), 0);
     ASSERT_EQ(cli::runCli(b, out, err), 0);
-    const std::string csv_a = slurp(dir_a + "/fig4.csv");
-    const std::string csv_b = slurp(dir_b + "/fig4.csv");
+    const std::string csv_a = test::slurp(dir_a + "/fig4.csv");
+    const std::string csv_b = test::slurp(dir_b + "/fig4.csv");
     EXPECT_FALSE(csv_a.empty());
     EXPECT_EQ(csv_a, csv_b);
     std::remove((dir_a + "/fig4.csv").c_str());

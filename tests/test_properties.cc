@@ -206,6 +206,13 @@ TEST_P(CheckpointFuzzTest, RestoreEquivalenceAtRandomCycles)
     cfg.perfectL2 = rng.bernoulli(0.5);
     cfg.fetchPolicy = fetchPolicies()[rng.uniform(fetchPolicies().size())];
     cfg.issuePolicy = issuePolicies()[rng.uniform(issuePolicies().size())];
+    // QoS state must round-trip too: random weights and a random
+    // adaptive gate threshold (the registries above already draw the
+    // adaptive/weighted policies that consume them).
+    if (rng.bernoulli(0.5))
+        cfg.threadWeights = {1 + std::uint32_t(rng.uniform(16)),
+                             1 + std::uint32_t(rng.uniform(16))};
+    cfg.adaptiveMissThreshold = 1 + std::uint32_t(rng.uniform(3));
     cfg.warmupInsts = 0;
 
     const std::uint64_t iters = 150;
@@ -321,6 +328,64 @@ TEST_P(SnapshotCacheFuzzTest, CachedThreadStatesMatchRecomputation)
 INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotCacheFuzzTest,
                          ::testing::Range(std::uint64_t(1),
                                           std::uint64_t(21)));
+
+class WindowOracleTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(WindowOracleTest, IncrementalWindowsMatchFromScratchRecompute)
+{
+    // Fuzz the trailing-window statistics (Context::sampleWindows):
+    // the incrementally maintained sums and the miss-window uniformity
+    // tracker must equal a from-scratch recomputation over the raw
+    // sample rings after every single cycle. The uniformity check is
+    // the load-bearing one — the adaptive policy's vetoStable() reads
+    // it, and a stale bit silently breaks idle fast-forward
+    // byte-identity rather than any assertion.
+    const std::uint64_t seed = GetParam();
+    Rng rng(deriveSeed(0x77696e64, seed));
+    const Kernel k = randomKernel(seed);
+
+    SimConfig cfg = testConfig(1 + rng.uniform(3));
+    cfg.decoupled = rng.bernoulli(0.7);
+    cfg.fetchPolicy = PolicyKind::Adaptive;
+    cfg.adaptiveMissThreshold = 1 + std::uint32_t(rng.uniform(3));
+    if (rng.bernoulli(0.5))
+        cfg.threadWeights = {1 + std::uint32_t(rng.uniform(16)),
+                             1 + std::uint32_t(rng.uniform(16))};
+    cfg.warmupInsts = 0;
+    cfg.validate();
+
+    Simulator sim = makeSim(cfg, k, 150);
+    std::uint64_t steps = 0;
+    while (!sim.allDone()) {
+        sim.step();
+        ASSERT_LT(++steps, 4000000u) << "deadlock in " << k.name;
+        for (ThreadId t = 0; t < cfg.numThreads; ++t) {
+            const Context &ctx = sim.context(t);
+            std::uint32_t iq_sum = 0, miss_sum = 0;
+            bool uniform = true;
+            for (const std::uint32_t s : ctx.iqSamples)
+                iq_sum += s;
+            for (const std::uint32_t s : ctx.missSamples) {
+                miss_sum += s;
+                uniform &= s == ctx.perceived.outstanding();
+            }
+            ASSERT_EQ(ctx.iqWindowSum, iq_sum)
+                << k.name << " t" << t << " at cycle " << sim.now();
+            ASSERT_EQ(ctx.missWindowSum, miss_sum)
+                << k.name << " t" << t << " at cycle " << sim.now();
+            const ThreadState s = ctx.policyState(cfg, sim.now());
+            ASSERT_EQ(s.missWindow, miss_sum);
+            ASSERT_EQ(s.missWindowUniform, uniform)
+                << k.name << " t" << t << " at cycle " << sim.now();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowOracleTest,
+                         ::testing::Range(std::uint64_t(1),
+                                          std::uint64_t(13)));
 
 // ---------------------------------------------------------------------
 // DSL front-end fuzzing: no text input may crash the compiler, and any

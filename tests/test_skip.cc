@@ -285,25 +285,6 @@ TEST(SkipWake, MemoryNextEventCycleNeverUnderReports)
 
 // --- CLI: CSV byte-identity and the skip columns ------------------------
 
-int
-cli(const std::vector<std::string> &args, std::string &out)
-{
-    std::ostringstream os, es;
-    const int rc = cli::runCli(args, os, es);
-    out = os.str();
-    return rc;
-}
-
-std::string
-slurp(const std::string &path)
-{
-    std::ifstream is(path, std::ios::binary);
-    EXPECT_TRUE(is.good()) << "cannot open " << path;
-    std::ostringstream os;
-    os << is.rdbuf();
-    return os.str();
-}
-
 TEST(SkipCli, Fig4CsvIsByteIdenticalAcrossCycleSkip)
 {
     // The figure CSVs carry no skip counters, so the whole file must
@@ -317,26 +298,49 @@ TEST(SkipCli, Fig4CsvIsByteIdenticalAcrossCycleSkip)
     on.insert(on.end(), {"--cycle-skip=on", "--out=" + on_dir});
     off.insert(off.end(), {"--cycle-skip=off", "--out=" + off_dir});
     std::string out;
-    ASSERT_EQ(cli(on, out), 0);
-    ASSERT_EQ(cli(off, out), 0);
-    const std::string a = slurp(on_dir + "/fig4.csv");
-    const std::string b = slurp(off_dir + "/fig4.csv");
+    ASSERT_EQ(test::cli(on, out), 0);
+    ASSERT_EQ(test::cli(off, out), 0);
+    const std::string a = test::slurp(on_dir + "/fig4.csv");
+    const std::string b = test::slurp(off_dir + "/fig4.csv");
     ASSERT_FALSE(a.empty());
     EXPECT_EQ(a, b) << "--cycle-skip changed the simulated results";
+}
+
+TEST(SkipCli, AblateQosCsvIsByteIdenticalAcrossCycleSkip)
+{
+    // The adaptive gate is the one policy whose fetch veto reads a
+    // trailing window, so its stability hook (FetchPolicy::vetoStable)
+    // is what keeps idle fast-forward sound on this grid — run the
+    // full QoS experiment (weights x policy pairs, adaptive included)
+    // with the engine on and off and demand identical CSV bytes.
+    const std::string on_dir = ::testing::TempDir() + "mtdae_qos_skip_on";
+    const std::string off_dir = ::testing::TempDir() + "mtdae_qos_skip_off";
+    const std::vector<std::string> common = {
+        "ablate-qos", "--insts=1200", "--warmup=300", "--quiet"};
+    std::vector<std::string> on = common, off = common;
+    on.insert(on.end(), {"--cycle-skip=on", "--out=" + on_dir});
+    off.insert(off.end(), {"--cycle-skip=off", "--out=" + off_dir});
+    std::string out;
+    ASSERT_EQ(test::cli(on, out), 0);
+    ASSERT_EQ(test::cli(off, out), 0);
+    const std::string a = test::slurp(on_dir + "/ablate_qos.csv");
+    const std::string b = test::slurp(off_dir + "/ablate_qos.csv");
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "--cycle-skip changed the QoS grid results";
 }
 
 TEST(SkipCli, RunCsvCarriesTheSkipColumns)
 {
     const std::string dir = ::testing::TempDir() + "mtdae_skip_cols";
     std::string out;
-    ASSERT_EQ(cli({"run", "--bench=dsl",
+    ASSERT_EQ(test::cli({"run", "--bench=dsl",
                    "--kernel-file=" + std::string(MTDAE_SOURCE_DIR) +
                        "/examples/kernels/pointer_chase.mk",
                    "--latencies=256", "--insts=1500",
                    "--warmup-insts=500", "--quiet", "--out=" + dir},
                   out),
               0);
-    const std::string csv = slurp(dir + "/run.csv");
+    const std::string csv = test::slurp(dir + "/run.csv");
     ASSERT_NE(csv.find("cycles_skipped"), std::string::npos);
     ASSERT_NE(csv.find("skip_events"), std::string::npos);
     // Header line + one data row; the skip counters are the last two

@@ -7,15 +7,42 @@
 #ifndef MTDAE_TESTS_TEST_UTIL_HH
 #define MTDAE_TESTS_TEST_UTIL_HH
 
+#include <gtest/gtest.h>
+
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "core/simulator.hh"
+#include "harness/cli.hh"
 #include "workload/kernel.hh"
 #include "workload/trace_source.hh"
 
 namespace mtdae::test {
+
+/** Run the mtdae CLI capturing stdout into @p out; returns exit code. */
+inline int
+cli(const std::vector<std::string> &args, std::string &out)
+{
+    std::ostringstream os, es;
+    const int rc = mtdae::cli::runCli(args, os, es);
+    out = os.str();
+    return rc;
+}
+
+/** Read a whole file as bytes (EXPECT-fails when it cannot open). */
+inline std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << "cannot open " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
 
 /**
  * A perfectly decoupled streaming kernel: FP loads from large strided
